@@ -1,0 +1,67 @@
+/// \file bench_ablation_strides.cpp
+/// Ablation C — the MBT stride plan. The paper fixes 5-5-6 ("three
+/// memory blocks corresponding to the three levels using 5-bit, 5-bit
+/// and 6-bit partitions", §III.C); this sweep shows the trade it sits
+/// on: fewer/wider levels reduce lookup latency but blow up node arrays
+/// (controlled prefix expansion), while more/narrower levels save memory
+/// at the cost of latency — and every plan remains exactly correct.
+#include "bench_util.hpp"
+
+using namespace pclass;
+using namespace pclass::bench;
+
+int main() {
+  const Workload w = make_workload(ruleset::FilterType::kAcl, 5000, 1500);
+  header("Ablation — MBT stride plan (paper: 5-5-6)",
+         "workload: " + w.rules.name() + "; per-plan: latency = levels x "
+         "2 cycles + 1 list cycle; memory = live node bits, 4 IP dims");
+
+  struct Plan {
+    std::string name;
+    std::vector<unsigned> strides;
+    std::vector<u32> capacity;
+  };
+  const Plan plans[] = {
+      {"5-5-6 (paper)", {5, 5, 6}, {1, 128, 512}},
+      {"4-4-4-4", {4, 4, 4, 4}, {1, 64, 512, 1024}},
+      {"8-8", {8, 8}, {1, 1024}},
+      {"6-5-5", {6, 5, 5}, {1, 128, 512}},
+      {"2-7-7", {2, 7, 7}, {1, 64, 1024}},
+  };
+
+  TextTable t({"stride plan", "levels", "latency (cycles)",
+               "live node Kb (4 dims)", "allocated Kb", "agreement"});
+  for (const Plan& plan : plans) {
+    core::ClassifierConfig cfg =
+        core::ClassifierConfig::for_scale(w.rules.size());
+    cfg.mbt.strides = plan.strides;
+    cfg.mbt.level_capacity = plan.capacity;
+    cfg.share_ip_memory = false;  // isolate the trie geometry
+    cfg.combine_mode = core::CombineMode::kCrossProduct;
+    core::ConfigurableClassifier clf(cfg);
+    clf.add_rules(w.rules);
+
+    u64 live = 0, alloc = 0;
+    for (const auto& b : clf.memory_report().blocks) {
+      if (b.name.find(".mbt.") != std::string::npos) {
+        live += b.used_bits;
+        alloc += b.capacity_bits;
+      }
+    }
+    const auto res = sweep(clf, w);
+    const u64 latency =
+        u64{cfg.mbt.read_cycles} * static_cast<u64>(plan.strides.size()) +
+        1;
+    t.add_row({plan.name, std::to_string(plan.strides.size()),
+               std::to_string(latency), kb(live), kb(alloc),
+               std::to_string(res.oracle_agreement) + "/" +
+                   std::to_string(res.headers)});
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: 8-8 halves the walk but multiplies the level-2 "
+               "arrays (256 entries/node); 4-4-4-4 is compact but adds "
+               "two cycles of latency. The paper's 5-5-6 balances the "
+               "two — and every plan classifies identically (agreement "
+               "column).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// \file bench_flow_cache.cpp
+/// The paper's flow premise quantified (§I: "It is only necessary that
+/// the first packet header of a flow matches the matching rule"): with
+/// an exact-match flow cache in front of the classifier, steady-state
+/// packets cost one hash + one read; only flow-opening packets pay the
+/// 4-phase lookup. Sweeps cache size and traffic locality.
+#include "bench_util.hpp"
+#include "sdn/switch_device.hpp"
+
+using namespace pclass;
+using namespace pclass::bench;
+
+int main() {
+  header("Flow cache — fast path for established flows",
+         "acl1-1K rules; packets-per-flow controls temporal locality");
+
+  const auto rules =
+      ruleset::make_classbench_like(ruleset::FilterType::kAcl, 1000);
+
+  TextTable t({"cache lines", "packets/flow", "hit rate",
+               "mean cycles/pkt", "vs no-cache"});
+  for (const u32 depth : {0u, 1024u, 8192u}) {
+    for (const usize pkts_per_flow : {usize{1}, usize{8}, usize{64}}) {
+      core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(1000);
+      cfg.combine_mode = core::CombineMode::kCrossProduct;
+      sdn::SwitchDevice sw("s", cfg, depth);
+      for (const auto& r : rules) {
+        sdn::FlowMod fm;
+        fm.command = sdn::FlowMod::Command::kAdd;
+        fm.cookie = r.id;
+        fm.match = r;
+        fm.action = sdn::ActionSpec::decode(r.action.token);
+        sw.handle(fm);
+      }
+
+      // Flow-structured traffic: each flow sends pkts_per_flow packets
+      // back-to-back (flow tables see bursts; caches love them).
+      ruleset::TraceGenerator tg(rules, {.headers = 2000, .seed = 77});
+      const auto flows = tg.generate();
+      u64 cycles = 0, packets = 0;
+      for (const auto& e : flows) {
+        for (usize k = 0; k < pkts_per_flow; ++k) {
+          cycles += sw.process_header(e.header, 64).lookup_cycles;
+          ++packets;
+        }
+      }
+      const double mean =
+          static_cast<double>(cycles) / static_cast<double>(packets);
+      static double no_cache_baseline[3] = {0, 0, 0};
+      const usize li = pkts_per_flow == 1 ? 0 : pkts_per_flow == 8 ? 1 : 2;
+      if (depth == 0) no_cache_baseline[li] = mean;
+      t.add_row({depth == 0 ? "off" : std::to_string(depth),
+                 std::to_string(pkts_per_flow),
+                 depth == 0 ? "-"
+                            : TextTable::num(
+                                  100.0 * sw.flow_cache_stats().hit_rate(),
+                                  1) + " %",
+                 TextTable::num(mean, 1),
+                 depth == 0
+                     ? "1.00x"
+                     : TextTable::num(no_cache_baseline[li] / mean, 2) +
+                           "x"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: at realistic flow lengths the cache collapses "
+               "the mean cost toward its 2-cycle hit path even in the "
+               "exact (cross-product) combination mode — classification "
+               "cost is paid per flow, not per packet, which is the "
+               "premise the paper's update-centric design rests on.\n";
+  return 0;
+}

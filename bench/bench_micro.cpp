@@ -1,0 +1,113 @@
+/// \file bench_micro.cpp
+/// google-benchmark micro-benchmarks of the host-side hot paths: the
+/// classify loop for each configuration, incremental updates, and the
+/// software baselines. These measure *simulator* performance (how fast
+/// the model runs on the host), complementing the cycle-level numbers
+/// of the table benches.
+#include <benchmark/benchmark.h>
+
+#include "baseline/hypercuts.hpp"
+#include "baseline/linear_search.hpp"
+#include "bench_util.hpp"
+
+using namespace pclass;
+using namespace pclass::bench;
+
+namespace {
+
+const Workload& acl1k() {
+  static const Workload w = make_workload(ruleset::FilterType::kAcl, 1000,
+                                          4096);
+  return w;
+}
+
+void classify_loop(benchmark::State& state, core::IpAlgorithm alg,
+                   core::CombineMode mode) {
+  const Workload& w = acl1k();
+  const auto clf = make_classifier(w.rules, alg, mode);
+  usize i = 0;
+  for (auto _ : state) {
+    const auto res = clf->classify(w.trace[i & 4095].header);
+    benchmark::DoNotOptimize(res.match);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+}  // namespace
+
+static void BM_ClassifyMbtFirstLabel(benchmark::State& state) {
+  classify_loop(state, core::IpAlgorithm::kMbt,
+                core::CombineMode::kFirstLabel);
+}
+BENCHMARK(BM_ClassifyMbtFirstLabel);
+
+static void BM_ClassifyMbtCrossProduct(benchmark::State& state) {
+  classify_loop(state, core::IpAlgorithm::kMbt,
+                core::CombineMode::kCrossProduct);
+}
+BENCHMARK(BM_ClassifyMbtCrossProduct);
+
+static void BM_ClassifyBstFirstLabel(benchmark::State& state) {
+  classify_loop(state, core::IpAlgorithm::kBst,
+                core::CombineMode::kFirstLabel);
+}
+BENCHMARK(BM_ClassifyBstFirstLabel);
+
+static void BM_AddRemoveRuleMbt(benchmark::State& state) {
+  const Workload& w = acl1k();
+  const auto clf = make_classifier(w.rules, core::IpAlgorithm::kMbt,
+                                   core::CombineMode::kFirstLabel);
+  // Churn one synthetic rule combining existing field values.
+  ruleset::Rule r = w.rules[0];
+  r.dst_port = w.rules[1].dst_port;
+  r.id = RuleId{60000};
+  r.priority = static_cast<Priority>(w.rules.size() + 7);
+  bool fresh = true;
+  for (const auto& x : w.rules) fresh &= !x.same_match(r);
+  if (!fresh) {
+    state.SkipWithError("synthetic churn rule collides");
+    return;
+  }
+  for (auto _ : state) {
+    clf->add_rule(r);
+    clf->remove_rule(r.id);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations() * 2));
+}
+BENCHMARK(BM_AddRemoveRuleMbt);
+
+static void BM_LinearSearchOracle(benchmark::State& state) {
+  const Workload& w = acl1k();
+  const baseline::LinearSearch ls(w.rules);
+  usize i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ls.classify(w.trace[i & 4095].header, nullptr));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_LinearSearchOracle);
+
+static void BM_HyperCutsLookup(benchmark::State& state) {
+  const Workload& w = acl1k();
+  const baseline::HyperCuts hc(w.rules);
+  usize i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hc.classify(w.trace[i & 4095].header, nullptr));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_HyperCutsLookup);
+
+static void BM_PacketParse(benchmark::State& state) {
+  const auto pkt = net::make_packet(
+      {ipv4(10, 0, 0, 1), ipv4(10, 0, 0, 2), 1234, 80, net::kProtoTcp}, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_five_tuple(pkt.bytes));
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/// \file bench_table2.cpp
+/// Table II — "No. of unique rule fields per rule set": unique values of
+/// each 5-tuple field for acl1 at 1K/5K/10K, the statistic that sizes
+/// the label method (13/7/2-bit labels) and motivates its >50 % storage
+/// saving.
+#include "bench_util.hpp"
+
+using namespace pclass;
+using namespace pclass::bench;
+
+int main() {
+  header("Table II — unique rule fields per rule set (acl1)",
+         "paper values in parentheses; generator is calibrated to "
+         "reproduce them exactly (DESIGN.md §2)");
+
+  struct PaperRow {
+    usize nominal, rules, src, dst, sport, dport, proto;
+  };
+  const PaperRow paper[] = {{1000, 916, 103, 297, 1, 99, 3},
+                            {5000, 4415, 805, 640, 1, 108, 3},
+                            {10000, 9603, 4784, 733, 1, 108, 3}};
+
+  TextTable t({"field", "acl1 1K", "acl1 5K", "acl1 10K"});
+  ruleset::RuleSetStats st[3];
+  for (int i = 0; i < 3; ++i) {
+    const auto rs =
+        ruleset::make_classbench_like(ruleset::FilterType::kAcl,
+                                      paper[i].nominal);
+    st[i] = ruleset::RuleSetStats::analyze(rs);
+  }
+  auto row = [&](const char* name, auto get, auto paper_get) {
+    std::vector<std::string> cells = {name};
+    for (int i = 0; i < 3; ++i) {
+      cells.push_back(std::to_string(get(st[i])) + " (" +
+                      std::to_string(paper_get(paper[i])) + ")");
+    }
+    t.add_row(cells);
+  };
+  row("rules", [](const auto& s) { return s.rules; },
+      [](const auto& p) { return p.rules; });
+  row("source IP address", [](const auto& s) { return s.unique_src_ip; },
+      [](const auto& p) { return p.src; });
+  row("destination IP address",
+      [](const auto& s) { return s.unique_dst_ip; },
+      [](const auto& p) { return p.dst; });
+  row("source port", [](const auto& s) { return s.unique_src_port; },
+      [](const auto& p) { return p.sport; });
+  row("destination port", [](const auto& s) { return s.unique_dst_port; },
+      [](const auto& p) { return p.dport; });
+  row("protocol", [](const auto& s) { return s.unique_protocol; },
+      [](const auto& p) { return p.proto; });
+  t.print(std::cout);
+
+  std::cout << "\nper-dimension label demand (the architecture's 16-bit "
+               "segment lookups):\n";
+  TextTable t2({"dimension", "acl1 1K", "acl1 5K", "acl1 10K",
+                "label width"});
+  for (Dimension d : kAllDimensions) {
+    t2.add_row({to_string(d),
+                std::to_string(st[0].unique_per_dimension[index_of(d)]),
+                std::to_string(st[1].unique_per_dimension[index_of(d)]),
+                std::to_string(st[2].unique_per_dimension[index_of(d)]),
+                std::to_string(label_bits(d)) + " bits (max " +
+                    std::to_string(1u << label_bits(d)) + ")"});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nfield storage: replicated vs unique-only (the paper's "
+               ">50% claim):\n";
+  TextTable t3({"set", "replicated Kb", "unique-only Kb", "saving",
+                "with 68b label records Kb", "saving"});
+  for (int i = 0; i < 3; ++i) {
+    t3.add_row({"acl1 " + std::to_string(paper[i].nominal / 1000) + "K",
+                kb(st[i].field_bits_replicated),
+                kb(st[i].field_bits_unique_only),
+                TextTable::num(100.0 * st[i].unique_only_saving(), 1) + "%",
+                kb(st[i].field_bits_labelled),
+                TextTable::num(100.0 * st[i].label_saving(), 1) + "%"});
+  }
+  t3.print(std::cout);
+  return 0;
+}

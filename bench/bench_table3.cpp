@@ -1,0 +1,34 @@
+/// \file bench_table3.cpp
+/// Table III — "Analysis of rule filters": actual rule counts of the
+/// ACL / FW / IPC filter sets at nominal 1K/5K/10K (duplicate-match
+/// rules removed, as ClassBench post-processing does).
+#include "bench_util.hpp"
+
+using namespace pclass;
+using namespace pclass::bench;
+
+int main() {
+  header("Table III — analysis of rule filters",
+         "measured (paper) rule counts after duplicate removal");
+
+  const usize paper[3][3] = {{916, 4415, 9603},
+                             {791, 4653, 9311},
+                             {938, 4460, 9037}};
+  const ruleset::FilterType types[3] = {ruleset::FilterType::kAcl,
+                                        ruleset::FilterType::kFw,
+                                        ruleset::FilterType::kIpc};
+
+  TextTable t({"filter type", "1K rules", "5K rules", "10K rules"});
+  for (int ti = 0; ti < 3; ++ti) {
+    std::vector<std::string> cells = {to_string(types[ti])};
+    for (int si = 0; si < 3; ++si) {
+      const usize nominal = si == 0 ? 1000 : si == 1 ? 5000 : 10000;
+      const auto rs = ruleset::make_classbench_like(types[ti], nominal);
+      cells.push_back(std::to_string(rs.size()) + " (" +
+                      std::to_string(paper[ti][si]) + ")");
+    }
+    t.add_row(cells);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_table5.cpp
+/// Table V — "Synthesis result on Altera Stratix V device
+/// (5SGXMB6R3F43C4)". We cannot run Quartus here; block-memory and
+/// register bits are MEASURED from the device model, logic is the
+/// calibrated analytical estimate of hw::SynthesisModel, fmax is the
+/// paper's number as a model parameter (see DESIGN.md §2).
+///
+/// Paper: 79,835/225,400 ALMs; 2,097,184/54,476,800 memory bits;
+/// 129,273 registers; 133.51 MHz; 500/908 pins.
+#include "bench_util.hpp"
+
+using namespace pclass;
+using namespace pclass::bench;
+
+int main() {
+  const Workload w = make_workload(ruleset::FilterType::kAcl, 10000, 1);
+  auto clf = make_classifier(w.rules, core::IpAlgorithm::kMbt,
+                             core::CombineMode::kFirstLabel);
+  header("Table V — synthesis result (modelled)",
+         "device loaded with " + w.rules.name() + " (" +
+             std::to_string(w.rules.size()) + " rules)");
+
+  const auto rep = clf->synthesis_report();
+  const auto mem = clf->memory_report();
+
+  // "Right-sized" block memory: what an engineer would synthesize for
+  // this rule set — live bits rounded up to Stratix V M20K granularity.
+  constexpr u64 kM20k = 20 * 1024;
+  u64 right_sized = 0;
+  for (const auto& b : mem.blocks) {
+    right_sized += ceil_div(std::max<u64>(b.used_bits, 1), kM20k) * kM20k;
+  }
+
+  TextTable t({"resource", "paper", "this model"});
+  t.add_row({"Logical utilization (ALMs)", "79,835 / 225,400",
+             std::to_string(rep.logic_alms) + " / " +
+                 std::to_string(rep.device.alms) + " (calibrated estimate)"});
+  t.add_row({"Total block memory bits", "2,097,184 / 54,476,800",
+             std::to_string(right_sized) + " right-sized / " +
+                 std::to_string(rep.block_memory_bits) + " allocated"});
+  t.add_row({"Total registers", "129,273",
+             std::to_string(rep.registers) +
+                 " (port banks + pipeline regs)"});
+  t.add_row({"Maximum frequency", "133.51 MHz",
+             TextTable::num(rep.fmax_mhz) + " MHz (model parameter)"});
+  t.add_row({"Total pins", "500 / 908",
+             std::to_string(rep.pins_used) + " / " +
+                 std::to_string(rep.device.pins) + " (model parameter)"});
+  t.print(std::cout);
+
+  std::cout << "\nmemory utilization: "
+            << TextTable::num(100.0 * static_cast<double>(right_sized) /
+                                  static_cast<double>(
+                                      rep.device.block_memory_bits),
+                              2)
+            << " % of the device (paper: ~4 %)\n";
+
+  std::cout << "\nper-block occupancy:\n";
+  TextTable bt({"block", "allocated Kb", "live Kb"});
+  for (const auto& b : mem.blocks) {
+    bt.add_row({b.name, kb(b.capacity_bits), kb(b.used_bits)});
+  }
+  bt.print(std::cout);
+  return 0;
+}

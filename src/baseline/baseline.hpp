@@ -1,0 +1,39 @@
+/// \file baseline.hpp
+/// Common interface of the comparison classifiers used for Table I /
+/// Table VII: every baseline is built from a RuleSet, classifies headers
+/// with an explicit memory-access count, and reports its storage
+/// footprint. The LinearSearch baseline doubles as the correctness
+/// oracle for the whole library.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+#include "ruleset/rule_set.hpp"
+
+namespace pclass::baseline {
+
+/// Measured cost of one baseline lookup.
+struct LookupCost {
+  u64 memory_accesses = 0;
+};
+
+/// Abstract comparison classifier.
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  /// Highest-priority matching rule, or nullptr on miss. When \p cost is
+  /// non-null the implementation adds its memory accesses.
+  [[nodiscard]] virtual const ruleset::Rule* classify(
+      const net::FiveTuple& h, LookupCost* cost) const = 0;
+
+  /// Total storage of the data structures (bits).
+  [[nodiscard]] virtual u64 memory_bits() const = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+}  // namespace pclass::baseline

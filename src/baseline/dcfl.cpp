@@ -1,0 +1,155 @@
+#include "baseline/dcfl.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace pclass::baseline {
+
+Dcfl::Dcfl(const ruleset::RuleSet& rules) {
+  rules_.assign(rules.begin(), rules.end());
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const ruleset::Rule& a, const ruleset::Rule& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.id < b.id;
+                   });
+
+  // Label the unique field values (priority order => deterministic).
+  std::map<std::pair<u32, u8>, u16> src_of, dst_of;
+  std::map<std::pair<u16, u16>, u16> sport_of, dport_of;
+  std::map<std::pair<u8, bool>, u16> proto_of;
+  src_trie_ = std::make_unique<SwTrie>(std::vector<unsigned>{8, 8, 8, 8}, 32);
+  dst_trie_ = std::make_unique<SwTrie>(std::vector<unsigned>{8, 8, 8, 8}, 32);
+
+  auto label_ip = [](auto& map, const ruleset::IpPrefix& p, SwTrie& trie) {
+    const auto [it, inserted] =
+        map.emplace(std::make_pair(p.value, p.length),
+                    static_cast<u16>(map.size()));
+    if (inserted) {
+      trie.insert(p.value, p.length, it->second);
+    }
+    return it->second;
+  };
+  auto label_port = [](auto& map, const ruleset::PortRange& r,
+                       auto& values) {
+    const auto [it, inserted] = map.emplace(std::make_pair(r.lo, r.hi),
+                                            static_cast<u16>(map.size()));
+    if (inserted) {
+      values.emplace_back(r, it->second);
+    }
+    return it->second;
+  };
+
+  for (u32 ri = 0; ri < rules_.size(); ++ri) {
+    const ruleset::Rule& r = rules_[ri];
+    const u16 l1 = label_ip(src_of, r.src_ip, *src_trie_);
+    const u16 l2 = label_ip(dst_of, r.dst_ip, *dst_trie_);
+    const u16 l3 = label_port(sport_of, r.src_port, sport_values_);
+    const u16 l4 = label_port(dport_of, r.dst_port, dport_values_);
+    const auto [pit, pin] = proto_of.emplace(
+        std::make_pair(r.proto.value, r.proto.wildcard),
+        static_cast<u16>(proto_of.size()));
+    if (pin) {
+      proto_values_.emplace_back(r.proto, pit->second);
+    }
+    const u16 l5 = pit->second;
+
+    // Aggregation network tables (meta-labels assigned densely in rule
+    // priority order, so earlier = better is preserved for the final
+    // stage's keep-first semantics).
+    const auto meta = [](AggTable& t, u32 left, u32 right) {
+      const auto [it, ins] = t.combos.emplace(
+          AggTable::key(left, right), static_cast<u32>(t.combos.size()));
+      (void)ins;
+      return it->second;
+    };
+    const u32 m12 = meta(agg12_, l1, l2);
+    const u32 m123 = meta(agg123_, m12, l3);
+    const u32 m1234 = meta(agg1234_, m123, l4);
+    final_.emplace(AggTable::key(m1234, l5), ri);  // keeps best priority
+  }
+
+  field_structure_bits_ = src_trie_->memory_bits() +
+                          dst_trie_->memory_bits() +
+                          u64{sport_values_.size()} * 40 +
+                          u64{dport_values_.size()} * 40 +
+                          u64{proto_values_.size()} * 9;
+}
+
+const ruleset::Rule* Dcfl::classify(const net::FiveTuple& h,
+                                    LookupCost* cost) const {
+  u64 accesses = 0;
+
+  std::vector<u16> l1, l2, l3, l4, l5;
+  src_trie_->lookup(h.src_ip, l1, accesses);
+  dst_trie_->lookup(h.dst_ip, l2, accesses);
+  ++accesses;  // parallel port registers, one probe
+  for (const auto& [range, label] : sport_values_) {
+    if (range.contains(h.src_port)) l3.push_back(label);
+  }
+  ++accesses;
+  for (const auto& [range, label] : dport_values_) {
+    if (range.contains(h.dst_port)) l4.push_back(label);
+  }
+  ++accesses;  // protocol LUT
+  for (const auto& [match, label] : proto_values_) {
+    if (match.matches(h.protocol)) l5.push_back(label);
+  }
+
+  // Aggregation: each candidate combination costs one probe.
+  auto aggregate = [&](const AggTable& t, const std::vector<u32>& left,
+                       const std::vector<u16>& right) {
+    std::vector<u32> out;
+    for (u32 a : left) {
+      for (u16 b : right) {
+        ++accesses;
+        const auto it = t.combos.find(AggTable::key(a, b));
+        if (it != t.combos.end()) {
+          out.push_back(it->second);
+        }
+      }
+    }
+    return out;
+  };
+
+  const std::vector<u32> wide1(l1.begin(), l1.end());
+  const std::vector<u32> m12 = aggregate(agg12_, wide1, l2);
+  const std::vector<u32> m123 = aggregate(agg123_, m12, l3);
+  const std::vector<u32> m1234 = aggregate(agg1234_, m123, l4);
+
+  const ruleset::Rule* best = nullptr;
+  for (u32 m : m1234) {
+    for (u16 p : l5) {
+      ++accesses;
+      const auto it = final_.find(AggTable::key(m, p));
+      if (it != final_.end()) {
+        const ruleset::Rule& r = rules_[it->second];
+        if (best == nullptr || r.priority < best->priority ||
+            (r.priority == best->priority && r.id < best->id)) {
+          best = &r;
+        }
+      }
+    }
+  }
+
+  if (cost != nullptr) {
+    cost->memory_accesses += accesses;
+  }
+  return best;
+}
+
+u64 Dcfl::memory_bits() const {
+  // Aggregation tables: hashed (left,right)->meta entries; 64 bits per
+  // entry at 100% load is charitable to neither side.
+  const u64 agg_bits = (u64{agg12_.combos.size()} +
+                        agg123_.combos.size() + agg1234_.combos.size() +
+                        final_.size()) *
+                       64;
+  constexpr u64 kRuleBits = 2 * (32 + 6) + 2 * 32 + 9;
+  return field_structure_bits_ + agg_bits + rules_.size() * kRuleBits;
+}
+
+}  // namespace pclass::baseline

@@ -1,0 +1,65 @@
+/// \file dcfl.hpp
+/// Distributed Crossproducting of Field Labels [Taylor & Turner,
+/// INFOCOM 2005] — the decomposition baseline the paper's label method
+/// derives from (§II: "individual-field lookups are performed in
+/// parallel. The individual results are combined to produce the final
+/// result using a label method").
+///
+/// Five field engines return the label *sets* of all matching unique
+/// field values; an aggregation network then intersects them pairwise
+/// against tables of label combinations that actually occur in the rule
+/// set:
+///
+///   (srcIP x dstIP) -> L12,  (L12 x sport) -> L123,
+///   (L123 x dport) -> L1234, (L1234 x proto) -> matching rules
+///
+/// Each combination probe is one memory access (the paper's DCFL row:
+/// few accesses, generous memory for the aggregation tables).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "baseline/sw_trie.hpp"
+
+namespace pclass::baseline {
+
+class Dcfl final : public Baseline {
+ public:
+  explicit Dcfl(const ruleset::RuleSet& rules);
+
+  [[nodiscard]] const ruleset::Rule* classify(const net::FiveTuple& h,
+                                              LookupCost* cost) const override;
+  [[nodiscard]] u64 memory_bits() const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  /// One aggregation stage: valid (left meta-label, right label) pairs
+  /// mapped to the next stage's meta-label.
+  struct AggTable {
+    std::unordered_map<u64, u32> combos;
+    [[nodiscard]] static u64 key(u32 left, u32 right) {
+      return (u64{left} << 32) | right;
+    }
+  };
+
+  std::string name_ = "DCFL";
+  std::vector<ruleset::Rule> rules_;  ///< priority order
+
+  // Field engines over unique field values.
+  std::unique_ptr<SwTrie> src_trie_;  ///< 32-bit, labels of unique prefixes
+  std::unique_ptr<SwTrie> dst_trie_;
+  std::vector<std::pair<ruleset::PortRange, u16>> sport_values_;
+  std::vector<std::pair<ruleset::PortRange, u16>> dport_values_;
+  std::vector<std::pair<ruleset::ProtoMatch, u16>> proto_values_;
+
+  AggTable agg12_, agg123_, agg1234_;
+  /// Final stage: (L1234 meta-label, proto label) -> best rule index.
+  std::unordered_map<u64, u32> final_;
+
+  u64 field_structure_bits_ = 0;
+};
+
+}  // namespace pclass::baseline

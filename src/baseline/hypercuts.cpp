@@ -1,0 +1,234 @@
+#include "baseline/hypercuts.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace pclass::baseline {
+
+namespace {
+constexpr std::array<u64, 5> kDomainHi = {0xFFFFFFFFull, 0xFFFFFFFFull,
+                                          0xFFFFull, 0xFFFFull, 0xFFull};
+}
+
+std::array<u64, 5> HyperCuts::rule_lo(const ruleset::Rule& r) {
+  return {u64{r.src_ip.value}, u64{r.dst_ip.value}, u64{r.src_port.lo},
+          u64{r.dst_port.lo}, r.proto.wildcard ? 0 : u64{r.proto.value}};
+}
+
+std::array<u64, 5> HyperCuts::rule_hi(const ruleset::Rule& r) {
+  const u64 src_hi = u64{r.src_ip.value} | mask_low(32u - r.src_ip.length);
+  const u64 dst_hi = u64{r.dst_ip.value} | mask_low(32u - r.dst_ip.length);
+  return {src_hi, dst_hi, u64{r.src_port.hi}, u64{r.dst_port.hi},
+          r.proto.wildcard ? 0xFFull : u64{r.proto.value}};
+}
+
+std::array<u64, 5> HyperCuts::header_point(const net::FiveTuple& h) {
+  return {u64{h.src_ip}, u64{h.dst_ip}, u64{h.src_port}, u64{h.dst_port},
+          u64{h.protocol}};
+}
+
+HyperCuts::HyperCuts(const ruleset::RuleSet& rules, HyperCutsConfig cfg)
+    : cfg_(cfg) {
+  rules_.assign(rules.begin(), rules.end());
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const ruleset::Rule& a, const ruleset::Rule& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.id < b.id;
+                   });
+  std::vector<u32> all(rules_.size());
+  for (u32 i = 0; i < all.size(); ++i) all[i] = i;
+  Box root;
+  root.lo.fill(0);
+  root.hi = kDomainHi;
+  build(all, root, 0);
+}
+
+u32 HyperCuts::build(const std::vector<u32>& rule_idx, const Box& box,
+                     unsigned depth) {
+  const u32 id = static_cast<u32>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].box = box;
+  depth_ = std::max(depth_, depth);
+
+  if (rule_idx.size() <= cfg_.binth || depth >= cfg_.max_depth) {
+    nodes_[id].rules = rule_idx;
+    return id;
+  }
+
+  // Distinct clipped projections per dimension (the HyperCuts dimension-
+  // selection heuristic: cut where rules are most diverse).
+  std::array<usize, 5> distinct{};
+  for (usize d = 0; d < 5; ++d) {
+    std::set<std::pair<u64, u64>> proj;
+    for (u32 ri : rule_idx) {
+      const u64 lo = std::max(rule_lo(rules_[ri])[d], box.lo[d]);
+      const u64 hi = std::min(rule_hi(rules_[ri])[d], box.hi[d]);
+      proj.insert({lo, hi});
+    }
+    distinct[d] = proj.size();
+  }
+
+  std::array<usize, 5> order = {0, 1, 2, 3, 4};
+  std::sort(order.begin(), order.end(),
+            [&](usize a, usize b) { return distinct[a] > distinct[b]; });
+
+  std::array<i8, 2> cut_dim = {-1, -1};
+  std::array<u8, 2> cut_bits = {0, 0};
+  unsigned total_bits = 0;
+  const unsigned max_total = ceil_log2(cfg_.max_children);
+  for (usize pick = 0; pick < 2; ++pick) {
+    const usize d = order[pick];
+    if (distinct[d] <= 1) break;
+    // The box extent bounds how far this dimension can still be cut.
+    const u64 extent = box.hi[d] - box.lo[d] + 1;
+    const unsigned extent_bits = extent == 0 ? 64 : ceil_log2(extent);
+    const unsigned want =
+        std::min({ceil_log2(u64{distinct[d]}),
+                  unsigned{cfg_.max_cuts_per_dim > 1
+                               ? ceil_log2(u64{cfg_.max_cuts_per_dim})
+                               : 0},
+                  extent_bits, max_total - total_bits});
+    if (want == 0) continue;
+    cut_dim[pick] = static_cast<i8>(d);
+    cut_bits[pick] = static_cast<u8>(want);
+    total_bits += want;
+  }
+  if (cut_dim[0] < 0) {
+    nodes_[id].rules = rule_idx;  // nothing to cut on
+    return id;
+  }
+
+  // Try the heuristic cut, shrinking it until both HyperCuts acceptance
+  // criteria hold: replication bounded by spfac * n, and strict progress
+  // (the largest child strictly smaller than the parent). Unbounded
+  // replication is what blows decision trees up on wildcard-heavy sets.
+  std::vector<std::vector<u32>> cells;
+  std::vector<Box> cell_box;
+  bool accepted = false;
+  while (!accepted && cut_bits[0] + cut_bits[1] > 0) {
+    const u32 nc0 = u32{1} << cut_bits[0];
+    const u32 nc1 = cut_dim[1] >= 0 ? (u32{1} << cut_bits[1]) : 1;
+    cells.assign(usize{nc0} * nc1, {});
+    cell_box.assign(cells.size(), box);
+    usize total = 0, largest = 0;
+    for (u32 c0 = 0; c0 < nc0; ++c0) {
+      for (u32 c1 = 0; c1 < nc1; ++c1) {
+        Box& cb = cell_box[usize{c0} * nc1 + c1];
+        const usize d0 = static_cast<usize>(cut_dim[0]);
+        const u64 w0 = (box.hi[d0] - box.lo[d0] + 1) >> cut_bits[0];
+        cb.lo[d0] = box.lo[d0] + u64{c0} * w0;
+        cb.hi[d0] = cb.lo[d0] + w0 - 1;
+        if (cut_dim[1] >= 0) {
+          const usize d1 = static_cast<usize>(cut_dim[1]);
+          const u64 w1 = (box.hi[d1] - box.lo[d1] + 1) >> cut_bits[1];
+          cb.lo[d1] = box.lo[d1] + u64{c1} * w1;
+          cb.hi[d1] = cb.lo[d1] + w1 - 1;
+        }
+        auto& cell = cells[usize{c0} * nc1 + c1];
+        for (u32 ri : rule_idx) {
+          const auto rlo = rule_lo(rules_[ri]);
+          const auto rhi = rule_hi(rules_[ri]);
+          bool overlap = true;
+          for (usize d = 0; d < 5 && overlap; ++d) {
+            overlap = rlo[d] <= cb.hi[d] && rhi[d] >= cb.lo[d];
+          }
+          if (overlap) cell.push_back(ri);
+        }
+        total += cell.size();
+        largest = std::max(largest, cell.size());
+      }
+    }
+    if (largest < rule_idx.size() &&
+        static_cast<double>(total) <=
+            cfg_.spfac * static_cast<double>(rule_idx.size())) {
+      accepted = true;
+      break;
+    }
+    // Shrink the wider cut first and retry.
+    if (cut_bits[0] >= cut_bits[1]) {
+      if (cut_bits[0] > 0) --cut_bits[0];
+    } else if (cut_bits[1] > 0) {
+      --cut_bits[1];
+      if (cut_bits[1] == 0) cut_dim[1] = -1;
+    }
+    if (cut_bits[1] == 0) cut_dim[1] = -1;
+  }
+  if (!accepted) {
+    nodes_[id].rules = rule_idx;  // no acceptable cut: linear leaf
+    return id;
+  }
+
+  nodes_[id].leaf = false;
+  nodes_[id].cut_dim = cut_dim;
+  nodes_[id].cut_bits = cut_bits;
+  nodes_[id].children.assign(cells.size(), -1);
+  for (usize c = 0; c < cells.size(); ++c) {
+    if (cells[c].empty()) continue;
+    const u32 child = build(cells[c], cell_box[c], depth + 1);
+    nodes_[id].children[c] = static_cast<i32>(child);
+  }
+  return id;
+}
+
+const ruleset::Rule* HyperCuts::classify(const net::FiveTuple& h,
+                                         LookupCost* cost) const {
+  const auto pt = header_point(h);
+  u32 node = 0;
+  while (true) {
+    const Node& n = nodes_[node];
+    if (cost != nullptr) {
+      ++cost->memory_accesses;  // node header word
+    }
+    if (n.leaf) {
+      for (u32 ri : n.rules) {
+        if (cost != nullptr) {
+          ++cost->memory_accesses;  // rule record
+        }
+        if (rules_[ri].matches(h)) {
+          return &rules_[ri];
+        }
+      }
+      return nullptr;
+    }
+    const usize d0 = static_cast<usize>(n.cut_dim[0]);
+    const u64 w0 = (n.box.hi[d0] - n.box.lo[d0] + 1) >> n.cut_bits[0];
+    const u64 c0 = (pt[d0] - n.box.lo[d0]) / w0;
+    u64 c1 = 0;
+    u64 nc1 = 1;
+    if (n.cut_dim[1] >= 0) {
+      const usize d1 = static_cast<usize>(n.cut_dim[1]);
+      const u64 w1 = (n.box.hi[d1] - n.box.lo[d1] + 1) >> n.cut_bits[1];
+      c1 = (pt[d1] - n.box.lo[d1]) / w1;
+      nc1 = u64{1} << n.cut_bits[1];
+    }
+    const i32 child = n.children[static_cast<usize>(c0 * nc1 + c1)];
+    if (child < 0) {
+      return nullptr;  // empty region
+    }
+    node = static_cast<u32>(child);
+  }
+}
+
+u64 HyperCuts::memory_bits() const {
+  // Node header (box is implicit in hardware via the walk; we charge the
+  // classic 64-bit node descriptor), child pointers, and leaf rule lists
+  // (pointers into the shared rule table) plus the rule table itself.
+  constexpr u64 kNodeBits = 64;
+  constexpr u64 kPtrBits = 20;
+  constexpr u64 kRuleRefBits = 16;
+  constexpr u64 kRuleBits = 2 * (32 + 6) + 2 * 32 + 9;
+  u64 bits = rules_.size() * kRuleBits;
+  for (const Node& n : nodes_) {
+    bits += kNodeBits;
+    bits += n.children.size() * kPtrBits;
+    bits += n.rules.size() * kRuleRefBits;
+  }
+  return bits;
+}
+
+}  // namespace pclass::baseline

@@ -1,0 +1,74 @@
+/// \file hypercuts.hpp
+/// HyperCuts [Singh et al., SIGCOMM 2003] — the multi-dimensional
+/// decision-tree baseline of Table I. Each internal node cuts the 5-D
+/// search space uniformly along up to two dimensions (the classic
+/// HyperCuts heuristic: cut the dimensions with the most distinct rule
+/// projections); rules are replicated into every child they overlap;
+/// leaves hold at most `binth` rules searched linearly.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+
+namespace pclass::baseline {
+
+/// Build parameters (defaults follow the original paper's evaluation).
+struct HyperCutsConfig {
+  usize binth = 8;          ///< max rules in a leaf
+  unsigned max_depth = 24;  ///< safety bound
+  unsigned max_cuts_per_dim = 8;
+  unsigned max_children = 64;
+  /// Space factor: a cut is accepted only if the total rule replication
+  /// across children stays below spfac * n (the original HyperCuts
+  /// space/time knob). Cuts that fail are retried with fewer children
+  /// and abandoned (leaf) when even a binary cut explodes.
+  double spfac = 2.0;
+};
+
+class HyperCuts final : public Baseline {
+ public:
+  explicit HyperCuts(const ruleset::RuleSet& rules, HyperCutsConfig cfg = {});
+
+  [[nodiscard]] const ruleset::Rule* classify(const net::FiveTuple& h,
+                                              LookupCost* cost) const override;
+  [[nodiscard]] u64 memory_bits() const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] usize node_count() const { return nodes_.size(); }
+  [[nodiscard]] unsigned depth() const { return depth_; }
+
+ private:
+  /// 5-D box: per-dimension inclusive [lo, hi] over the field domains.
+  struct Box {
+    std::array<u64, 5> lo{};
+    std::array<u64, 5> hi{};
+  };
+
+  struct Node {
+    bool leaf = true;
+    std::vector<u32> rules;  ///< rule indices (leaf)
+    // Internal: cut description.
+    std::array<i8, 2> cut_dim = {-1, -1};
+    std::array<u8, 2> cut_bits = {0, 0};  ///< log2(cuts) per cut dim
+    Box box{};
+    std::vector<i32> children;  ///< -1 = empty child
+  };
+
+  u32 build(const std::vector<u32>& rule_idx, const Box& box,
+            unsigned depth);
+  [[nodiscard]] static std::array<u64, 5> rule_lo(const ruleset::Rule& r);
+  [[nodiscard]] static std::array<u64, 5> rule_hi(const ruleset::Rule& r);
+  [[nodiscard]] static std::array<u64, 5> header_point(
+      const net::FiveTuple& h);
+
+  std::string name_ = "HyperCuts";
+  HyperCutsConfig cfg_;
+  std::vector<ruleset::Rule> rules_;
+  std::vector<Node> nodes_;
+  unsigned depth_ = 0;
+};
+
+}  // namespace pclass::baseline

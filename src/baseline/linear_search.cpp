@@ -1,0 +1,38 @@
+#include "baseline/linear_search.hpp"
+
+#include <algorithm>
+
+namespace pclass::baseline {
+
+namespace {
+// Bits to store one rule verbatim (2 prefixes + 2 ranges + proto).
+constexpr u64 kRuleBits = 2 * (32 + 6) + 2 * 32 + 9;
+}  // namespace
+
+LinearSearch::LinearSearch(const ruleset::RuleSet& rules) {
+  rules_.assign(rules.begin(), rules.end());
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const ruleset::Rule& a, const ruleset::Rule& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.id < b.id;
+                   });
+}
+
+const ruleset::Rule* LinearSearch::classify(const net::FiveTuple& h,
+                                            LookupCost* cost) const {
+  for (const ruleset::Rule& r : rules_) {
+    if (cost != nullptr) {
+      ++cost->memory_accesses;  // one rule record read
+    }
+    if (r.matches(h)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+u64 LinearSearch::memory_bits() const { return rules_.size() * kRuleBits; }
+
+}  // namespace pclass::baseline

@@ -1,0 +1,27 @@
+/// \file linear_search.hpp
+/// Priority-ordered linear scan — the semantic ground truth (every other
+/// classifier in this repository is tested against it) and the trivial
+/// lower bound on memory / upper bound on lookup cost.
+#pragma once
+
+#include <vector>
+
+#include "baseline/baseline.hpp"
+
+namespace pclass::baseline {
+
+class LinearSearch final : public Baseline {
+ public:
+  explicit LinearSearch(const ruleset::RuleSet& rules);
+
+  [[nodiscard]] const ruleset::Rule* classify(const net::FiveTuple& h,
+                                              LookupCost* cost) const override;
+  [[nodiscard]] u64 memory_bits() const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "LinearSearch";
+  std::vector<ruleset::Rule> rules_;  ///< sorted by (priority, id)
+};
+
+}  // namespace pclass::baseline

@@ -1,0 +1,126 @@
+#include "baseline/option_trie.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace pclass::baseline {
+
+OptionTrie::OptionTrie(const ruleset::RuleSet& rules, OptionConfig cfg)
+    : cfg_(std::move(cfg)) {
+  rules_.assign(rules.begin(), rules.end());
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const ruleset::Rule& a, const ruleset::Rule& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.id < b.id;
+                   });
+
+  src_trie_ = std::make_unique<SwTrie>(cfg_.ip_strides, 32);
+  dst_trie_ = std::make_unique<SwTrie>(cfg_.ip_strides, 32);
+  sport_trie_ = std::make_unique<SwTrie>(cfg_.port_strides, 16);
+  dport_trie_ = std::make_unique<SwTrie>(cfg_.port_strides, 16);
+
+  std::map<std::pair<u32, u8>, u16> src_of, dst_of;
+  std::map<std::pair<u16, u16>, u16> sport_of, dport_of;
+  std::map<std::pair<u8, bool>, u16> proto_of;
+
+  auto label_ip = [](auto& map, const ruleset::IpPrefix& p, SwTrie& trie) {
+    const auto [it, inserted] =
+        map.emplace(std::make_pair(p.value, p.length),
+                    static_cast<u16>(map.size()));
+    if (inserted) {
+      trie.insert(p.value, p.length, it->second);
+    }
+    return it->second;
+  };
+  auto label_range = [](auto& map, const ruleset::PortRange& r,
+                        SwTrie& trie) {
+    const auto [it, inserted] = map.emplace(std::make_pair(r.lo, r.hi),
+                                            static_cast<u16>(map.size()));
+    if (inserted) {
+      // Ranges enter the segment trie as their prefix expansion, all
+      // carrying the same label.
+      for (const auto& [value, len] : range_to_prefixes(r.lo, r.hi, 16)) {
+        trie.insert(value, len, it->second);
+      }
+    }
+    return it->second;
+  };
+
+  for (u32 ri = 0; ri < rules_.size(); ++ri) {
+    const ruleset::Rule& r = rules_[ri];
+    const u16 l1 = label_ip(src_of, r.src_ip, *src_trie_);
+    const u16 l2 = label_ip(dst_of, r.dst_ip, *dst_trie_);
+    const u16 l3 = label_range(sport_of, r.src_port, *sport_trie_);
+    const u16 l4 = label_range(dport_of, r.dst_port, *dport_trie_);
+    const auto [pit, pin] = proto_of.emplace(
+        std::make_pair(r.proto.value, r.proto.wildcard),
+        static_cast<u16>(proto_of.size()));
+    if (pin) {
+      proto_values_.emplace_back(r.proto, pit->second);
+    }
+    combos_.emplace(combo_key(l1, l2, l3, l4, pit->second), ri);
+  }
+}
+
+const ruleset::Rule* OptionTrie::classify(const net::FiveTuple& h,
+                                          LookupCost* cost) const {
+  u64 accesses = 0;
+  std::vector<u16> l1, l2, l3, l4, l5;
+  src_trie_->lookup(h.src_ip, l1, accesses);
+  dst_trie_->lookup(h.dst_ip, l2, accesses);
+  sport_trie_->lookup(h.src_port, l3, accesses);
+  dport_trie_->lookup(h.dst_port, l4, accesses);
+  ++accesses;  // protocol register LUT
+  for (const auto& [match, label] : proto_values_) {
+    if (match.matches(h.protocol)) l5.push_back(label);
+  }
+
+  // A range can reach the walk through several expanded prefixes; the
+  // label list may therefore contain duplicates — dedup before the
+  // cross-product so probes are not double-counted.
+  auto dedup = [](std::vector<u16>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(l3);
+  dedup(l4);
+
+  const ruleset::Rule* best = nullptr;
+  for (u16 a : l1) {
+    for (u16 b : l2) {
+      for (u16 c : l3) {
+        for (u16 d : l4) {
+          for (u16 e : l5) {
+            ++accesses;  // one hash probe
+            const auto it = combos_.find(combo_key(a, b, c, d, e));
+            if (it != combos_.end()) {
+              const ruleset::Rule& r = rules_[it->second];
+              if (best == nullptr || r.priority < best->priority ||
+                  (r.priority == best->priority && r.id < best->id)) {
+                best = &r;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (cost != nullptr) {
+    cost->memory_accesses += accesses;
+  }
+  return best;
+}
+
+u64 OptionTrie::memory_bits() const {
+  constexpr u64 kRuleBits = 2 * (32 + 6) + 2 * 32 + 9;
+  return src_trie_->memory_bits() + dst_trie_->memory_bits() +
+         sport_trie_->memory_bits() + dport_trie_->memory_bits() +
+         u64{proto_values_.size()} * 9 + u64{combos_.size()} * 64 +
+         rules_.size() * kRuleBits;
+}
+
+}  // namespace pclass::baseline

@@ -1,0 +1,65 @@
+/// \file option_trie.hpp
+/// The "Option 1" and "Option 2" single-field algorithm combinations of
+/// Table I (from the authors' prior work [17], ICC 2014):
+///
+///   Option 1: 5-level multi-bit trie for the 32-bit IP fields,
+///             4-level segment trie for the port fields,
+///             register LUT for the protocol.
+///   Option 2: 4-level multi-bit trie, 5-level segment trie, LUT.
+///
+/// Each field engine returns the labels of all matching unique field
+/// values (lists read along the trie walk — not leaf-pushed); the final
+/// result is the best-priority hit over the label cross-product, probed
+/// against a hash table of rule label combinations.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "baseline/sw_trie.hpp"
+
+namespace pclass::baseline {
+
+/// Field-engine structure of one option.
+struct OptionConfig {
+  std::string name;
+  std::vector<unsigned> ip_strides;
+  std::vector<unsigned> port_strides;
+
+  [[nodiscard]] static OptionConfig option1() {
+    return {"Option1", {7, 7, 6, 6, 6}, {4, 4, 4, 4}};
+  }
+  [[nodiscard]] static OptionConfig option2() {
+    return {"Option2", {8, 8, 8, 8}, {4, 3, 3, 3, 3}};
+  }
+};
+
+class OptionTrie final : public Baseline {
+ public:
+  OptionTrie(const ruleset::RuleSet& rules, OptionConfig cfg);
+
+  [[nodiscard]] const ruleset::Rule* classify(const net::FiveTuple& h,
+                                              LookupCost* cost) const override;
+  [[nodiscard]] u64 memory_bits() const override;
+  [[nodiscard]] const std::string& name() const override {
+    return cfg_.name;
+  }
+
+ private:
+  [[nodiscard]] static u64 combo_key(u16 a, u16 b, u16 c, u16 d, u16 e) {
+    return (u64{a} << 52) | (u64{b} << 39) | (u64{c} << 26) |
+           (u64{d} << 13) | e;
+  }
+
+  OptionConfig cfg_;
+  std::vector<ruleset::Rule> rules_;  ///< priority order
+
+  std::unique_ptr<SwTrie> src_trie_, dst_trie_;
+  std::unique_ptr<SwTrie> sport_trie_, dport_trie_;
+  std::vector<std::pair<ruleset::ProtoMatch, u16>> proto_values_;
+  std::unordered_map<u64, u32> combos_;  ///< label combo -> rule index
+};
+
+}  // namespace pclass::baseline

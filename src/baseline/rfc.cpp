@@ -1,0 +1,223 @@
+#include "baseline/rfc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace pclass::baseline {
+
+namespace {
+
+/// FNV-ish hash over bitmap words (class interning is the hot path of
+/// the RFC build).
+struct VecHash {
+  usize operator()(const std::vector<u64>& v) const {
+    u64 h = 0xCBF29CE484222325ull;
+    for (u64 w : v) {
+      h = mix64(h ^ w);
+    }
+    return static_cast<usize>(h);
+  }
+};
+
+/// Per-chunk projection of one rule as an inclusive range.
+std::pair<u32, u32> project(const ruleset::Rule& r, usize chunk) {
+  const auto seg_range = [](const ruleset::SegmentPrefix& p) {
+    const u32 lo = p.value;
+    const u32 hi = p.value | static_cast<u32>(mask_low(16u - p.length));
+    return std::pair<u32, u32>{lo, hi};
+  };
+  switch (chunk) {
+    case 0: return seg_range(r.src_ip.hi_segment());
+    case 1: return seg_range(r.src_ip.lo_segment());
+    case 2: return seg_range(r.dst_ip.hi_segment());
+    case 3: return seg_range(r.dst_ip.lo_segment());
+    case 4: return {r.src_port.lo, r.src_port.hi};
+    case 5: return {r.dst_port.lo, r.dst_port.hi};
+    case 6:
+      return r.proto.wildcard ? std::pair<u32, u32>{0, 255}
+                              : std::pair<u32, u32>{r.proto.value,
+                                                    r.proto.value};
+    default: throw InternalError("RFC: bad chunk");
+  }
+}
+
+void bitmap_set(std::vector<u64>& bm, usize bit) {
+  bm[bit / 64] |= u64{1} << (bit % 64);
+}
+
+i64 bitmap_first(const std::vector<u64>& bm) {
+  for (usize w = 0; w < bm.size(); ++w) {
+    if (bm[w] != 0) {
+      return static_cast<i64>(w * 64 +
+                              static_cast<usize>(std::countr_zero(bm[w])));
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+Rfc::Phase0Table Rfc::build_phase0(
+    const std::vector<std::pair<u32, u32>>& rule_ranges, unsigned width,
+    std::vector<Bitmap>& out_class_bitmaps) const {
+  const usize domain = usize{1} << width;
+  const usize words = (rules_.size() + 63) / 64;
+
+  // Elementary intervals via boundary sweep.
+  std::vector<u32> points = {0};
+  for (const auto& [lo, hi] : rule_ranges) {
+    points.push_back(lo);
+    if (u64{hi} + 1 < domain) {
+      points.push_back(hi + 1);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  Phase0Table t;
+  t.width = width;
+  t.classes.assign(domain, 0);
+  std::unordered_map<Bitmap, u32, VecHash> class_of;
+
+  for (usize i = 0; i < points.size(); ++i) {
+    const u32 start = points[i];
+    const u32 end = i + 1 < points.size()
+                        ? points[i + 1] - 1
+                        : static_cast<u32>(domain - 1);
+    Bitmap bm(words, 0);
+    for (usize ri = 0; ri < rule_ranges.size(); ++ri) {
+      if (rule_ranges[ri].first <= start && rule_ranges[ri].second >= start) {
+        bitmap_set(bm, ri);
+      }
+    }
+    const auto [it, inserted] =
+        class_of.emplace(bm, static_cast<u32>(class_of.size()));
+    if (inserted) {
+      out_class_bitmaps.push_back(bm);
+    }
+    for (u64 v = start; v <= end; ++v) {
+      t.classes[static_cast<usize>(v)] = it->second;
+    }
+  }
+  t.class_count = class_of.size();
+  return t;
+}
+
+Rfc::ProductTable Rfc::combine(const std::vector<Bitmap>& a,
+                               const std::vector<Bitmap>& b,
+                               std::vector<Bitmap>& out) const {
+  ProductTable t;
+  t.a_count = a.size();
+  t.b_count = b.size();
+  if (a.size() * b.size() > max_table_) {
+    throw CapacityError("RFC: product table of " +
+                        std::to_string(a.size() * b.size()) +
+                        " entries exceeds the configured bound");
+  }
+  t.classes.assign(a.size() * b.size(), 0);
+  std::unordered_map<Bitmap, u32, VecHash> class_of;
+  Bitmap tmp;
+  for (usize i = 0; i < a.size(); ++i) {
+    for (usize j = 0; j < b.size(); ++j) {
+      tmp.assign(a[i].size(), 0);
+      for (usize w = 0; w < tmp.size(); ++w) {
+        tmp[w] = a[i][w] & b[j][w];
+      }
+      const auto [it, inserted] =
+          class_of.emplace(tmp, static_cast<u32>(class_of.size()));
+      if (inserted) {
+        out.push_back(tmp);
+      }
+      t.classes[i * b.size() + j] = it->second;
+    }
+  }
+  t.class_count = class_of.size();
+  return t;
+}
+
+Rfc::Rfc(const ruleset::RuleSet& rules, usize max_table)
+    : max_table_(max_table) {
+  rules_.assign(rules.begin(), rules.end());
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const ruleset::Rule& a, const ruleset::Rule& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.id < b.id;
+                   });
+
+  // Phase 0: seven chunk tables.
+  std::vector<std::vector<Bitmap>> chunk_classes(7);
+  p0_.reserve(7);
+  for (usize c = 0; c < 7; ++c) {
+    std::vector<std::pair<u32, u32>> ranges;
+    ranges.reserve(rules_.size());
+    for (const ruleset::Rule& r : rules_) {
+      ranges.push_back(project(r, c));
+    }
+    p0_.push_back(
+        build_phase0(ranges, c == 6 ? 8 : 16, chunk_classes[c]));
+  }
+
+  // Reduction tree.
+  std::vector<Bitmap> src_cls, dst_cls, port_cls, ip_cls, pp_cls, final_cls;
+  p1_src_ = combine(chunk_classes[0], chunk_classes[1], src_cls);
+  p1_dst_ = combine(chunk_classes[2], chunk_classes[3], dst_cls);
+  p1_port_ = combine(chunk_classes[4], chunk_classes[5], port_cls);
+  p2_ip_ = combine(src_cls, dst_cls, ip_cls);
+  p2_pp_ = combine(port_cls, chunk_classes[6], pp_cls);
+  p3_ = combine(ip_cls, pp_cls, final_cls);
+
+  final_rule_.reserve(final_cls.size());
+  for (const Bitmap& bm : final_cls) {
+    final_rule_.push_back(bitmap_first(bm));
+  }
+}
+
+const ruleset::Rule* Rfc::classify(const net::FiveTuple& h,
+                                   LookupCost* cost) const {
+  if (cost != nullptr) {
+    cost->memory_accesses += kAccessesPerLookup;
+  }
+  const u32 c0 = p0_[0].classes[ip_hi16(h.src_ip)];
+  const u32 c1 = p0_[1].classes[ip_lo16(h.src_ip)];
+  const u32 c2 = p0_[2].classes[ip_hi16(h.dst_ip)];
+  const u32 c3 = p0_[3].classes[ip_lo16(h.dst_ip)];
+  const u32 c4 = p0_[4].classes[h.src_port];
+  const u32 c5 = p0_[5].classes[h.dst_port];
+  const u32 c6 = p0_[6].classes[h.protocol];
+
+  const u32 s = p1_src_.classes[usize{c0} * p1_src_.b_count + c1];
+  const u32 d = p1_dst_.classes[usize{c2} * p1_dst_.b_count + c3];
+  const u32 p = p1_port_.classes[usize{c4} * p1_port_.b_count + c5];
+  const u32 ip = p2_ip_.classes[usize{s} * p2_ip_.b_count + d];
+  const u32 pp = p2_pp_.classes[usize{p} * p2_pp_.b_count + c6];
+  const u32 fin = p3_.classes[usize{ip} * p3_.b_count + pp];
+
+  const i64 ri = final_rule_[fin];
+  return ri < 0 ? nullptr : &rules_[static_cast<usize>(ri)];
+}
+
+u64 Rfc::memory_bits() const {
+  auto entry_bits = [](usize class_count) {
+    return u64{std::max(1u, ceil_log2(u64{class_count}))};
+  };
+  u64 bits = 0;
+  for (const Phase0Table& t : p0_) {
+    bits += u64{t.classes.size()} * entry_bits(t.class_count);
+  }
+  for (const ProductTable* t :
+       {&p1_src_, &p1_dst_, &p1_port_, &p2_ip_, &p2_pp_}) {
+    bits += u64{t->classes.size()} * entry_bits(t->class_count);
+  }
+  // Final table stores rule ids directly.
+  bits += u64{p3_.classes.size()} *
+          std::max(1u, ceil_log2(u64{rules_.size()} + 1));
+  return bits;
+}
+
+}  // namespace pclass::baseline

@@ -1,0 +1,74 @@
+/// \file rfc.hpp
+/// Recursive Flow Classification [Gupta & McKeown, SIGCOMM 1999] — the
+/// fast-but-memory-hungry baseline of Table I. The header is split into
+/// 7 chunks (four 16-bit IP segments, two ports, protocol); each chunk
+/// indexes a preprocessed table mapping the chunk value to an
+/// equivalence-class id, and a reduction tree of cross-product tables
+/// combines class ids until one table yields the HPMR:
+///
+///   P0: c0..c6 (7 direct-indexed tables)
+///   P1: (c0,c1) -> srcIP class   (c2,c3) -> dstIP class  (c4,c5) -> ports
+///   P2: (srcIP,dstIP)            (ports, c6)
+///   P3: (P2a, P2b) -> rule
+///
+/// Lookup cost is a fixed 13 memory reads; the price is the product
+/// tables, whose size explodes with rule diversity — exactly the trade
+/// Table I shows (fewest accesses after DCFL, by far the most memory).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+
+namespace pclass::baseline {
+
+class Rfc final : public Baseline {
+ public:
+  /// \throws CapacityError if a product table would exceed \p max_table
+  ///         entries (guards against pathological rule sets).
+  explicit Rfc(const ruleset::RuleSet& rules, usize max_table = 1u << 26);
+
+  [[nodiscard]] const ruleset::Rule* classify(const net::FiveTuple& h,
+                                              LookupCost* cost) const override;
+  [[nodiscard]] u64 memory_bits() const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  /// Fixed access count of the reduction tree (7 + 3 + 2 + 1).
+  static constexpr u64 kAccessesPerLookup = 13;
+
+ private:
+  /// Rule bitmap (one bit per rule, priority order).
+  using Bitmap = std::vector<u64>;
+
+  struct Phase0Table {
+    std::vector<u32> classes;   ///< 2^width entries -> class id
+    usize class_count = 0;
+    unsigned width = 16;
+  };
+  struct ProductTable {
+    std::vector<u32> classes;  ///< a_count * b_count entries -> class id
+    usize a_count = 0;
+    usize b_count = 0;
+    usize class_count = 0;
+  };
+
+  [[nodiscard]] Phase0Table build_phase0(
+      const std::vector<std::pair<u32, u32>>& rule_ranges, unsigned width,
+      std::vector<Bitmap>& out_class_bitmaps) const;
+  [[nodiscard]] ProductTable combine(const std::vector<Bitmap>& a,
+                                     const std::vector<Bitmap>& b,
+                                     std::vector<Bitmap>& out) const;
+
+  std::string name_ = "RFC";
+  usize max_table_;
+  std::vector<ruleset::Rule> rules_;  ///< priority order
+
+  std::vector<Phase0Table> p0_;  ///< 7 chunk tables
+  ProductTable p1_src_, p1_dst_, p1_port_;
+  ProductTable p2_ip_, p2_pp_;
+  ProductTable p3_;
+  std::vector<i64> final_rule_;  ///< P3 class -> rule index (-1 = miss)
+};
+
+}  // namespace pclass::baseline

@@ -1,0 +1,118 @@
+#include "baseline/sw_trie.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace pclass::baseline {
+
+SwTrie::SwTrie(std::vector<unsigned> strides, unsigned key_bits)
+    : strides_(std::move(strides)), key_bits_(key_bits) {
+  if (key_bits_ == 0 || key_bits_ > 32) {
+    throw ConfigError("SwTrie: key_bits must be in [1, 32]");
+  }
+  unsigned sum = 0;
+  for (unsigned s : strides_) {
+    if (s == 0 || s > 16) {
+      throw ConfigError("SwTrie: stride out of range");
+    }
+    sum += s;
+    cum_.push_back(sum);
+  }
+  if (sum != key_bits_) {
+    throw ConfigError("SwTrie: strides must sum to key_bits");
+  }
+  nodes_.emplace_back();
+  nodes_[0].entries.resize(usize{1} << strides_[0]);
+}
+
+u32 SwTrie::slice(u32 key, usize level) const {
+  const unsigned shift = key_bits_ - cum_[level];
+  return (key >> shift) & static_cast<u32>(mask_low(strides_[level]));
+}
+
+void SwTrie::insert(u32 value, u8 len, u16 item) {
+  if (len > key_bits_) {
+    throw ConfigError("SwTrie: prefix longer than key");
+  }
+  // Find the anchor level: the first level whose cumulative stride
+  // covers the prefix.
+  usize anchor = 0;
+  while (len > cum_[anchor]) {
+    ++anchor;
+  }
+  // Walk/create the path.
+  usize node = 0;
+  for (usize k = 0; k < anchor; ++k) {
+    Entry& e = nodes_[node].entries[slice(value, k)];
+    if (e.child < 0) {
+      e.child = static_cast<i32>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_.back().entries.resize(usize{1} << strides_[k + 1]);
+    }
+    node = static_cast<usize>(e.child);
+  }
+  // Expand onto the covered entry span.
+  const unsigned prev = anchor == 0 ? 0 : cum_[anchor - 1];
+  const unsigned span_bits = cum_[anchor] - std::max<unsigned>(len, prev);
+  const u32 base = slice(value, anchor);
+  for (u32 e = base; e <= base + (u32{1} << span_bits) - 1; ++e) {
+    nodes_[node].entries[e].items.push_back(item);
+  }
+}
+
+void SwTrie::lookup(u32 key, std::vector<u16>& out, u64& accesses) const {
+  usize node = 0;
+  for (usize k = 0; k < strides_.size(); ++k) {
+    const Entry& e = nodes_[node].entries[slice(key, k)];
+    ++accesses;  // node entry word
+    accesses += e.items.size();  // list elements
+    out.insert(out.end(), e.items.begin(), e.items.end());
+    if (e.child < 0) {
+      break;
+    }
+    node = static_cast<usize>(e.child);
+  }
+}
+
+u64 SwTrie::memory_bits() const {
+  constexpr u64 kEntryBits = 16 + 16;  // child pointer + list pointer
+  constexpr u64 kItemBits = 16;
+  u64 bits = 0;
+  for (const Node& n : nodes_) {
+    bits += n.entries.size() * kEntryBits;
+    for (const Entry& e : n.entries) {
+      bits += e.items.size() * kItemBits;
+    }
+  }
+  return bits;
+}
+
+std::vector<std::pair<u32, u8>> range_to_prefixes(u32 lo, u32 hi,
+                                                  unsigned width) {
+  if (width == 0 || width > 32 || lo > hi ||
+      (width < 32 && hi > mask_low(width))) {
+    throw ConfigError("range_to_prefixes: bad range");
+  }
+  std::vector<std::pair<u32, u8>> out;
+  u64 cur = lo;
+  const u64 end = u64{hi} + 1;
+  while (cur < end) {
+    // Largest aligned block starting at cur that fits within the range.
+    unsigned block = width;  // log2 of block size
+    // Alignment constraint.
+    if (cur != 0) {
+      const auto tz = static_cast<unsigned>(std::countr_zero(cur));
+      block = std::min(block, tz);
+    }
+    // Size constraint.
+    while ((u64{1} << block) > end - cur) {
+      --block;
+    }
+    out.emplace_back(static_cast<u32>(cur),
+                     static_cast<u8>(width - block));
+    cur += u64{1} << block;
+  }
+  return out;
+}
+
+}  // namespace pclass::baseline

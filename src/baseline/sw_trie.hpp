@@ -1,0 +1,64 @@
+/// \file sw_trie.hpp
+/// Software multi-bit trie shared by the Option-1/Option-2 combinations
+/// and the DCFL field engines (the paper's previous-work baselines of
+/// Table I). Unlike alg::MultiBitTrie it is not leaf-pushed: a lookup
+/// walks the levels and reads the label list anchored at every matched
+/// entry, which is exactly why the 5-level IP option pays more list
+/// accesses than the 4-level one — the effect Table I shows between
+/// Option 1 and Option 2.
+#pragma once
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pclass::baseline {
+
+/// Build-once software trie over keys of up to 32 bits.
+class SwTrie {
+ public:
+  /// \param strides  per-level strides; must sum to \p key_bits.
+  SwTrie(std::vector<unsigned> strides, unsigned key_bits);
+
+  /// Anchor \p item at prefix (value, len). Call before any lookup.
+  void insert(u32 value, u8 len, u16 item);
+
+  /// Collect the items of every prefix covering \p key. Charges one
+  /// access per visited node entry plus one per list element read.
+  void lookup(u32 key, std::vector<u16>& out, u64& accesses) const;
+
+  /// Storage: every allocated node's entry array (child pointer + list
+  /// pointer per entry) plus the list elements themselves.
+  [[nodiscard]] u64 memory_bits() const;
+
+  [[nodiscard]] usize node_count() const { return nodes_.size(); }
+  [[nodiscard]] unsigned levels() const {
+    return static_cast<unsigned>(strides_.size());
+  }
+
+ private:
+  struct Entry {
+    i32 child = -1;
+    std::vector<u16> items;
+  };
+  struct Node {
+    std::vector<Entry> entries;
+  };
+
+  [[nodiscard]] u32 slice(u32 key, usize level) const;
+
+  std::vector<unsigned> strides_;
+  std::vector<unsigned> cum_;
+  unsigned key_bits_;
+  std::vector<Node> nodes_;  ///< nodes_[0] = root
+};
+
+/// Split an inclusive range [lo, hi] within a \p width-bit domain into
+/// the minimal set of aligned prefixes (value, len) — the standard
+/// range-to-prefix expansion used to put port ranges into tries.
+[[nodiscard]] std::vector<std::pair<u32, u8>> range_to_prefixes(
+    u32 lo, u32 hi, unsigned width);
+
+}  // namespace pclass::baseline

@@ -1,0 +1,82 @@
+/// \file bits.hpp
+/// Bit-manipulation helpers used when encoding/decoding hardware memory
+/// words and when slicing packet headers into per-dimension search keys.
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Mask with the low \p n bits set. n == 64 is allowed.
+[[nodiscard]] constexpr u64 mask_low(unsigned n) {
+  assert(n <= 64);
+  return n >= 64 ? ~u64{0} : ((u64{1} << n) - 1);
+}
+
+/// Extract \p width bits of \p value starting at bit \p lsb (LSB = bit 0).
+[[nodiscard]] constexpr u64 extract_bits(u64 value, unsigned lsb,
+                                         unsigned width) {
+  assert(lsb < 64 && width <= 64);
+  return (value >> lsb) & mask_low(width);
+}
+
+/// Deposit \p field (of \p width bits) into \p word at bit \p lsb,
+/// replacing whatever was there.
+[[nodiscard]] constexpr u64 deposit_bits(u64 word, u64 field, unsigned lsb,
+                                         unsigned width) {
+  assert(field <= mask_low(width));
+  const u64 m = mask_low(width) << lsb;
+  return (word & ~m) | ((field << lsb) & m);
+}
+
+/// ceil(log2(n)); returns 0 for n <= 1. Number of address bits needed to
+/// index n entries.
+[[nodiscard]] constexpr unsigned ceil_log2(u64 n) {
+  if (n <= 1) return 0;
+  return static_cast<unsigned>(64 - std::countl_zero(n - 1));
+}
+
+[[nodiscard]] constexpr u64 ceil_div(u64 a, u64 b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+/// Round \p v up to the next power of two (returns 1 for v == 0).
+[[nodiscard]] constexpr u64 next_pow2(u64 v) {
+  return v <= 1 ? 1 : u64{1} << ceil_log2(v);
+}
+
+/// High 64 bits of the 128-bit product a*b (used for unbiased range
+/// reduction of hashes and random numbers).
+[[nodiscard]] inline u64 mul_high_u64(u64 a, u64 b) {
+#if defined(__SIZEOF_INT128__)
+  __extension__ using u128 = unsigned __int128;
+  return static_cast<u64>((static_cast<u128>(a) * b) >> 64);
+#else
+  const u64 a_lo = a & 0xFFFFFFFFu, a_hi = a >> 32;
+  const u64 b_lo = b & 0xFFFFFFFFu, b_hi = b >> 32;
+  const u64 mid = a_hi * b_lo + ((a_lo * b_lo) >> 32);
+  const u64 mid2 = a_lo * b_hi + (mid & 0xFFFFFFFFu);
+  return a_hi * b_hi + (mid >> 32) + (mid2 >> 32);
+#endif
+}
+
+/// High 16-bit segment of a 32-bit IP address.
+[[nodiscard]] constexpr u16 ip_hi16(u32 ip) {
+  return static_cast<u16>(ip >> 16);
+}
+
+/// Low 16-bit segment of a 32-bit IP address.
+[[nodiscard]] constexpr u16 ip_lo16(u32 ip) {
+  return static_cast<u16>(ip & 0xFFFFu);
+}
+
+/// Compose an IPv4 address from dotted-quad octets (a.b.c.d).
+[[nodiscard]] constexpr u32 ipv4(u8 a, u8 b, u8 c, u8 d) {
+  return (u32{a} << 24) | (u32{b} << 16) | (u32{c} << 8) | u32{d};
+}
+
+}  // namespace pclass

@@ -1,0 +1,47 @@
+/// \file error.hpp
+/// Exception hierarchy for pclass. Exceptions signal *failures to satisfy
+/// an interface contract* (bad configuration, exhausted hardware capacity,
+/// malformed input files). Expected conditions — e.g. "no rule matched
+/// this packet" — are represented with std::optional, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pclass {
+
+/// Base class for all pclass errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A hardware resource (memory block, register file, label space, rule
+/// filter) ran out of capacity. The controller is expected to catch this
+/// and either re-shard, re-seed the hash, or reject the FlowMod.
+class CapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invalid configuration (e.g. stride sum != segment width, zero-sized
+/// memory, label width too small for the requested table).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed input (ClassBench filter file, trace file, FlowMod message).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation — indicates a bug in pclass itself, not
+/// in the caller. Tests assert these are never thrown.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace pclass

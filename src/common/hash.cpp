@@ -1,0 +1,38 @@
+#include "common/hash.hpp"
+
+#include <stdexcept>
+
+namespace pclass {
+
+const std::array<u32, 256>& Crc32::table() {
+  static const std::array<u32, 256> t = [] {
+    std::array<u32, 256> out{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      out[i] = c;
+    }
+    return out;
+  }();
+  return t;
+}
+
+Key68Hasher::Key68Hasher(u32 capacity, u64 seed)
+    : capacity_(capacity), seed_(seed) {
+  if (capacity == 0) {
+    throw std::invalid_argument("Key68Hasher: capacity must be > 0");
+  }
+}
+
+u32 Key68Hasher::operator()(const Key68& key) const {
+  // Fold the 68 bits with the salt, avalanche, then multiply-high range
+  // reduction (Lemire) so non-power-of-two capacities stay uniform.
+  const u64 folded = mix64(key.lo64() ^ seed_) ^
+                     mix64((u64{key.hi4()} << 32) ^ (seed_ >> 7));
+  const u64 h = mix64(folded);
+  return static_cast<u32>(mul_high_u64(h, capacity_));
+}
+
+}  // namespace pclass

@@ -1,0 +1,77 @@
+/// \file hash.hpp
+/// Hash functions modelling the hardware hash unit that maps the 68-bit
+/// merged label key to a Rule Filter address (§IV.A: "The final address to
+/// store each rule in the Rule Filter block is performed using a hash
+/// function implemented in hardware").
+///
+/// Two families are provided:
+///   * Crc32Hash        — table-driven CRC-32 (IEEE 802.3 polynomial), the
+///                        classic FPGA-friendly choice (XOR tree).
+///   * MultiplyShiftHash— 2-universal multiply-shift, cheap in DSP blocks.
+/// Both reduce a Key68 to a table index in a single model cycle.
+#pragma once
+
+#include <array>
+
+#include "common/key68.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over a byte stream.
+class Crc32 {
+ public:
+  /// CRC of \p len bytes at \p data, seeded with \p seed.
+  [[nodiscard]] static u32 compute(const u8* data, usize len,
+                                   u32 seed = 0xFFFFFFFFu) {
+    u32 crc = seed;
+    for (usize i = 0; i < len; ++i) {
+      crc = (crc >> 8) ^ table()[(crc ^ data[i]) & 0xFFu];
+    }
+    return ~crc;
+  }
+
+  [[nodiscard]] static u32 compute_u64(u64 v, u32 seed = 0xFFFFFFFFu) {
+    std::array<u8, 8> bytes{};
+    for (unsigned i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<u8>(v >> (8 * i));
+    }
+    return compute(bytes.data(), bytes.size(), seed);
+  }
+
+ private:
+  static const std::array<u32, 256>& table();
+};
+
+/// Hardware hash unit model: Key68 -> bucket index in [0, capacity).
+/// Capacity does not need to be a power of two (the model uses a
+/// multiply-high range reduction, which synthesizes to one DSP multiply).
+class Key68Hasher {
+ public:
+  /// \param capacity  number of addressable buckets (> 0).
+  /// \param seed      per-instance salt; the controller may re-seed to
+  ///                  resolve pathological collision clusters.
+  explicit Key68Hasher(u32 capacity, u64 seed = 0x9E3779B97F4A7C15ULL);
+
+  [[nodiscard]] u32 capacity() const { return capacity_; }
+  [[nodiscard]] u64 seed() const { return seed_; }
+
+  /// Map a 68-bit key to a bucket index.
+  [[nodiscard]] u32 operator()(const Key68& key) const;
+
+ private:
+  u32 capacity_;
+  u64 seed_;
+};
+
+/// 64-bit finalizer (splitmix64 avalanche) — used for software-side maps.
+[[nodiscard]] constexpr u64 mix64(u64 x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace pclass

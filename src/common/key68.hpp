@@ -1,0 +1,81 @@
+/// \file key68.hpp
+/// The 68-bit merged label key of the architecture's phase 3 (§III.C.1):
+/// the highest-priority label of each of the 7 dimensions is concatenated
+/// into one 68-bit segment, which a hardware hash maps to the HPMR address
+/// in the Rule Filter memory.
+///
+/// Layout (MSB -> LSB), fixed by the architecture:
+///   [67:55] src_ip_hi label   (13 bits)
+///   [54:42] src_ip_lo label   (13 bits)
+///   [41:29] dst_ip_hi label   (13 bits)
+///   [28:16] dst_ip_lo label   (13 bits)
+///   [15: 9] src_port label    ( 7 bits)
+///   [ 8: 2] dst_port label    ( 7 bits)
+///   [ 1: 0] protocol label    ( 2 bits)
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <functional>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// A 68-bit value stored as {high 4 bits, low 64 bits}. Regular type:
+/// equality-comparable, hashable, totally ordered.
+class Key68 {
+ public:
+  constexpr Key68() = default;
+  constexpr Key68(u8 hi4, u64 lo64) : hi_(hi4 & 0xFu), lo_(lo64) {}
+
+  /// Build the merged key from one label per dimension, in the canonical
+  /// order of kAllDimensions. Each label must fit the dimension width.
+  [[nodiscard]] static Key68 merge(
+      const std::array<Label, kNumDimensions>& labels) {
+    Key68 k;
+    for (Dimension d : kAllDimensions) {
+      const Label l = labels[index_of(d)];
+      assert(l.valid());
+      assert(u64{l.value} <= mask_low(label_bits(d)));
+      k = k.shifted_in(l.value, label_bits(d));
+    }
+    return k;
+  }
+
+  /// Shift this key left by \p width bits and OR in \p field.
+  [[nodiscard]] constexpr Key68 shifted_in(u64 field, unsigned width) const {
+    assert(width <= 64 && field <= mask_low(width));
+    const u8 new_hi = static_cast<u8>(
+        ((u64{hi_} << width) | (width == 64 ? lo_ : lo_ >> (64 - width))) &
+        0xFu);
+    const u64 new_lo = (width == 64 ? 0 : lo_ << width) | field;
+    return Key68{new_hi, new_lo};
+  }
+
+  [[nodiscard]] constexpr u8 hi4() const { return hi_; }
+  [[nodiscard]] constexpr u64 lo64() const { return lo_; }
+
+  friend constexpr auto operator<=>(const Key68&, const Key68&) = default;
+
+ private:
+  u8 hi_ = 0;   // bits [67:64]
+  u64 lo_ = 0;  // bits [63:0]
+};
+
+}  // namespace pclass
+
+template <>
+struct std::hash<pclass::Key68> {
+  std::size_t operator()(const pclass::Key68& k) const noexcept {
+    // splitmix-style avalanche over the 68 bits.
+    pclass::u64 x = k.lo64() ^ (pclass::u64{k.hi4()} << 60);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

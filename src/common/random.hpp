@@ -1,0 +1,76 @@
+/// \file random.hpp
+/// Deterministic, seedable RNG used by the synthetic ruleset/trace
+/// generators and the property tests. We do not use std::mt19937 directly
+/// in public interfaces so generated artifacts are stable across standard
+/// library implementations.
+#pragma once
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// xoshiro256** with splitmix64 seeding — fast, reproducible, decent
+/// statistical quality for workload generation (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0xC0FFEE123456789ULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 x = seed;
+    for (auto& s : state_) {
+      // splitmix64 stream expands the single seed word.
+      x += 0x9E3779B97F4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 below(u64 bound) {
+    assert(bound > 0);
+    // Multiply-high rejection-free reduction; bias is negligible for the
+    // bounds used here (<< 2^64) and determinism matters more.
+    return mul_high_u64(next(), bound);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 between(u64 lo, u64 hi) {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability \p p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4] = {};
+};
+
+}  // namespace pclass

@@ -1,0 +1,67 @@
+/// \file table.hpp
+/// Minimal fixed-column text-table formatter used by the benchmark harness
+/// to print paper-style tables (Tables I-VII) with aligned columns.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Accumulates rows of strings and renders them with per-column widths.
+/// Number formatting is the caller's job (use TextTable::num helpers).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with a rule line under the header.
+  void print(std::ostream& os) const {
+    std::vector<usize> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (usize i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (usize i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        os << "  " << std::left << std::setw(static_cast<int>(width[i]))
+           << cell;
+      }
+      os << '\n';
+    };
+    emit(header_);
+    usize total = 0;
+    for (usize w : width) total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+    for (const auto& r : rows_) emit(r);
+  }
+
+  /// Format a double with \p prec digits after the point.
+  [[nodiscard]] static std::string num(double v, int prec = 2) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << v;
+    return ss.str();
+  }
+
+  [[nodiscard]] static std::string num(u64 v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pclass

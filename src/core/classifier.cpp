@@ -1,0 +1,614 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pclass::core {
+
+namespace {
+
+hw::SharedRole role_of(IpAlgorithm a) {
+  return a == IpAlgorithm::kMbt ? hw::SharedRole::kMbtLevel2
+                                : hw::SharedRole::kBstNodes;
+}
+
+constexpr unsigned kSharedWordBits = 33;  // max(MBT entry 29, BST node 33)
+
+}  // namespace
+
+ConfigurableClassifier::ConfigurableClassifier(ClassifierConfig cfg)
+    : cfg_(cfg),
+      ip_tables_{alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kSrcIpHi),
+                 alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kSrcIpLo),
+                 alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kDstIpHi),
+                 alg::LabelTable<ruleset::SegmentPrefix>(
+                     Dimension::kDstIpLo)},
+      sport_table_(Dimension::kSrcPort),
+      dport_table_(Dimension::kDstPort),
+      proto_table_(Dimension::kProtocol) {
+  for (Dimension d : kAllDimensions) {
+    label_prio_[index_of(d)].assign(usize{1} << label_bits(d), kNoPriority);
+  }
+
+  const u32 mbt_l2_depth =
+      cfg_.mbt.level_capacity.size() > 1 && cfg_.mbt.strides.size() > 1
+          ? cfg_.mbt.level_capacity[1] * (u32{1} << cfg_.mbt.strides[1])
+          : 0;
+  const u32 shared_depth = std::max(mbt_l2_depth, cfg_.bst.max_nodes);
+
+  for (usize i = 0; i < 4; ++i) {
+    const Dimension d = kIpDims[i];
+    const std::string name = std::string("ip.") + to_string(d);
+    lists_[i] = std::make_unique<alg::LabelListStore>(
+        name + ".labels", cfg_.label_store_depth, kIpLabelBits);
+
+    auto prio_cb = [this, idx = index_of(d)](Label l) {
+      return label_prio_[idx][l.value];
+    };
+
+    alg::MbtConfig mc = cfg_.mbt;
+    alg::BstConfig bc = cfg_.bst;
+    hw::Memory* shared_block = nullptr;
+    if (cfg_.share_ip_memory) {
+      shared_[i] = std::make_unique<hw::SharedMemory>(
+          name + ".shared", shared_depth, kSharedWordBits);
+      shared_block = &shared_[i]->block();
+      mc.word_bits_override = kSharedWordBits;
+      bc.word_bits_override = kSharedWordBits;
+    }
+    mbt_[i] = std::make_unique<alg::MultiBitTrie>(
+        name + ".mbt", mc, *lists_[i], prio_cb, shared_block,
+        /*shared_level_index=*/1);
+    bst_[i] = std::make_unique<alg::BinarySearchTree>(name, bc, *lists_[i],
+                                                      prio_cb, shared_block);
+    if (cfg_.share_ip_memory) {
+      shared_[i]->bind(role_of(cfg_.ip_algorithm));
+    }
+  }
+
+  sport_regs_ = std::make_unique<alg::PortRegisterFile>("port.src",
+                                                        cfg_.ports);
+  dport_regs_ = std::make_unique<alg::PortRegisterFile>("port.dst",
+                                                        cfg_.ports);
+  proto_lut_ = std::make_unique<alg::ProtocolLut>("proto");
+  rule_filter_ = std::make_unique<RuleFilter>(
+      "rule_filter", cfg_.rule_filter_depth, cfg_.rule_filter_max_probes,
+      cfg_.hash_seed);
+}
+
+ConfigurableClassifier::~ConfigurableClassifier() = default;
+
+ruleset::SegmentPrefix ConfigurableClassifier::ip_segment(
+    const ruleset::Rule& r, usize ip_dim_index) {
+  switch (ip_dim_index) {
+    case 0: return r.src_ip.hi_segment();
+    case 1: return r.src_ip.lo_segment();
+    case 2: return r.dst_ip.hi_segment();
+    case 3: return r.dst_ip.lo_segment();
+    default: throw InternalError("bad ip dimension index");
+  }
+}
+
+hw::UpdateStats ConfigurableClassifier::apply(hw::CommandLog& log) {
+  hw::UpdateBus batch;
+  for (const hw::UpdateCommand& cmd : log.take()) {
+    bus_.charge(cmd);
+    batch.charge(cmd);
+  }
+  return batch.stats();
+}
+
+std::array<Label, kNumDimensions> ConfigurableClassifier::acquire_labels(
+    const ruleset::Rule& r, hw::CommandLog& log,
+    std::array<std::vector<std::pair<ruleset::SegmentPrefix, Label>>, 4>*
+        bst_bulk) {
+  std::array<Label, kNumDimensions> labels{};
+
+  for (usize i = 0; i < 4; ++i) {
+    const Dimension d = kIpDims[i];
+    const ruleset::SegmentPrefix v = ip_segment(r, i);
+    const alg::AcquireResult acq = ip_tables_[i].acquire(v, r.priority);
+    labels[index_of(d)] = acq.label;
+    const Priority best = ip_tables_[i].best_priority(v);
+    Priority& shadow = label_prio_[index_of(d)][acq.label.value];
+    if (acq.created) {
+      shadow = best;
+      if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
+        mbt_[i]->insert(v, acq.label, log);
+      } else if (bst_bulk != nullptr) {
+        (*bst_bulk)[i].emplace_back(v, acq.label);
+      } else {
+        bst_[i]->insert(v, acq.label, log);
+      }
+    } else if (shadow != best) {
+      shadow = best;
+      if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
+        mbt_[i]->refresh(v, log);
+      } else if (bst_bulk == nullptr) {
+        bst_[i]->refresh(v, log);
+      }
+      // bulk BST: the single rebuild at the end re-sorts everything
+    }
+  }
+
+  auto do_port = [&](alg::LabelTable<ruleset::PortRange>& table,
+                     alg::PortRegisterFile& regs, const ruleset::PortRange& v,
+                     Dimension d) {
+    const alg::AcquireResult acq = table.acquire(v, r.priority);
+    labels[index_of(d)] = acq.label;
+    label_prio_[index_of(d)][acq.label.value] = table.best_priority(v);
+    if (acq.created) {
+      regs.insert(v, acq.label, log);
+    }
+  };
+  do_port(sport_table_, *sport_regs_, r.src_port, Dimension::kSrcPort);
+  do_port(dport_table_, *dport_regs_, r.dst_port, Dimension::kDstPort);
+
+  const alg::AcquireResult acq = proto_table_.acquire(r.proto, r.priority);
+  labels[index_of(Dimension::kProtocol)] = acq.label;
+  label_prio_[index_of(Dimension::kProtocol)][acq.label.value] =
+      proto_table_.best_priority(r.proto);
+  if (acq.created) {
+    proto_lut_->insert(r.proto, acq.label, log);
+  }
+
+  return labels;
+}
+
+void ConfigurableClassifier::release_labels(const ruleset::Rule& r,
+                                            hw::CommandLog& log) {
+  for (usize i = 0; i < 4; ++i) {
+    const Dimension d = kIpDims[i];
+    const ruleset::SegmentPrefix v = ip_segment(r, i);
+    const alg::ReleaseResult rel = ip_tables_[i].release(v, r.priority);
+    if (rel.freed) {
+      label_prio_[index_of(d)][rel.label.value] = kNoPriority;
+      if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
+        mbt_[i]->remove(v, log);
+      } else {
+        bst_[i]->remove(v, log);
+      }
+    } else {
+      const Priority best = ip_tables_[i].best_priority(v);
+      Priority& shadow = label_prio_[index_of(d)][rel.label.value];
+      if (shadow != best) {
+        shadow = best;
+        if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
+          mbt_[i]->refresh(v, log);
+        } else {
+          bst_[i]->refresh(v, log);
+        }
+      }
+    }
+  }
+
+  auto do_port = [&](alg::LabelTable<ruleset::PortRange>& table,
+                     alg::PortRegisterFile& regs,
+                     const ruleset::PortRange& v, Dimension d) {
+    const alg::ReleaseResult rel = table.release(v, r.priority);
+    if (rel.freed) {
+      label_prio_[index_of(d)][rel.label.value] = kNoPriority;
+      regs.remove(v, log);
+    } else {
+      label_prio_[index_of(d)][rel.label.value] = table.best_priority(v);
+    }
+  };
+  do_port(sport_table_, *sport_regs_, r.src_port, Dimension::kSrcPort);
+  do_port(dport_table_, *dport_regs_, r.dst_port, Dimension::kDstPort);
+
+  const alg::ReleaseResult rel = proto_table_.release(r.proto, r.priority);
+  if (rel.freed) {
+    label_prio_[index_of(Dimension::kProtocol)][rel.label.value] =
+        kNoPriority;
+    proto_lut_->remove(r.proto, log);
+  } else {
+    label_prio_[index_of(Dimension::kProtocol)][rel.label.value] =
+        proto_table_.best_priority(r.proto);
+  }
+}
+
+hw::UpdateStats ConfigurableClassifier::add_rule(const ruleset::Rule& r) {
+  if (!r.id.valid()) {
+    throw ConfigError("add_rule: rule must carry a valid RuleId");
+  }
+  if (installed_.contains(r.id)) {
+    throw ConfigError("add_rule: duplicate rule id " +
+                      std::to_string(r.id.value));
+  }
+  const u64 fp = ruleset::match_fingerprint(r);
+  if (match_index_.contains(fp)) {
+    throw ConfigError("add_rule: a rule with an identical match part is "
+                      "already installed (id " +
+                      std::to_string(match_index_.at(fp).value) + ")");
+  }
+  hw::CommandLog log;
+  const auto labels = acquire_labels(r, log, nullptr);
+  const Key68 key = Key68::merge(labels);
+  log.hash_compute("rule_filter.hash");
+  filter_insert_with_reseed(key, RuleEntry{r.id, r.priority, r.action.token},
+                            log);
+  installed_.emplace(r.id, InstalledRule{r, key});
+  match_index_.emplace(fp, r.id);
+  return apply(log);
+}
+
+hw::UpdateStats ConfigurableClassifier::add_rules(
+    const ruleset::RuleSet& rules) {
+  hw::CommandLog log;
+  std::array<std::vector<std::pair<ruleset::SegmentPrefix, Label>>, 4>
+      staged;
+  auto* bulk = cfg_.ip_algorithm == IpAlgorithm::kBst ? &staged : nullptr;
+
+  for (const ruleset::Rule& r : rules) {
+    if (!r.id.valid()) {
+      throw ConfigError("add_rules: rule must carry a valid RuleId");
+    }
+    if (installed_.contains(r.id)) {
+      throw ConfigError("add_rules: duplicate rule id " +
+                        std::to_string(r.id.value));
+    }
+    const u64 fp = ruleset::match_fingerprint(r);
+    if (match_index_.contains(fp)) {
+      throw ConfigError("add_rules: duplicate match part (dedup the set "
+                        "first)");
+    }
+    const auto labels = acquire_labels(r, log, bulk);
+    const Key68 key = Key68::merge(labels);
+    log.hash_compute("rule_filter.hash");
+    filter_insert_with_reseed(key,
+                              RuleEntry{r.id, r.priority, r.action.token},
+                              log);
+    installed_.emplace(r.id, InstalledRule{r, key});
+    match_index_.emplace(fp, r.id);
+  }
+  if (bulk != nullptr) {
+    for (usize i = 0; i < 4; ++i) {
+      bst_[i]->insert_bulk(staged[i], log);
+    }
+  }
+  return apply(log);
+}
+
+hw::UpdateStats ConfigurableClassifier::remove_rule(RuleId id) {
+  const auto it = installed_.find(id);
+  if (it == installed_.end()) {
+    throw ConfigError("remove_rule: rule " + std::to_string(id.value) +
+                      " is not installed");
+  }
+  hw::CommandLog log;
+  rule_filter_->remove(it->second.key, log);
+  release_labels(it->second.rule, log);
+  match_index_.erase(ruleset::match_fingerprint(it->second.rule));
+  installed_.erase(it);
+  return apply(log);
+}
+
+void ConfigurableClassifier::filter_insert_with_reseed(
+    const Key68& key, const RuleEntry& entry, hw::CommandLog& log) {
+  constexpr u32 kMaxReseeds = 16;
+  while (true) {
+    try {
+      rule_filter_->insert(key, entry, log);
+      return;
+    } catch (const CapacityError&) {
+      if (rule_filter_->size() + 1 > rule_filter_->memory().depth()) {
+        throw;  // genuinely full: no seed can help
+      }
+      // Try successive salts; each reseed re-uploads the whole table
+      // through the log, so the caller sees the true recovery cost.
+      // reseed() restores the previous layout when a candidate seed
+      // fails, so state stays consistent throughout.
+      bool reseeded = false;
+      while (!reseeded && reseed_attempts_ < kMaxReseeds) {
+        ++reseed_attempts_;
+        cfg_.hash_seed = mix64(cfg_.hash_seed + reseed_attempts_);
+        try {
+          rule_filter_->reseed(cfg_.hash_seed, log);
+          reseeded = true;
+        } catch (const CapacityError&) {
+          // candidate seed also clusters; try the next one
+        }
+      }
+      if (!reseeded) {
+        throw;
+      }
+    }
+  }
+}
+
+hw::UpdateStats ConfigurableClassifier::modify_rule(RuleId id,
+                                                    ruleset::Action action) {
+  const auto it = installed_.find(id);
+  if (it == installed_.end()) {
+    throw ConfigError("modify_rule: rule " + std::to_string(id.value) +
+                      " is not installed");
+  }
+  hw::CommandLog log;
+  ruleset::Rule& rule = it->second.rule;
+  rule.action = action;
+  log.hash_compute("rule_filter.hash");
+  rule_filter_->modify(it->second.key,
+                       RuleEntry{rule.id, rule.priority, action.token}, log);
+  return apply(log);
+}
+
+hw::UpdateStats ConfigurableClassifier::set_ip_algorithm(IpAlgorithm alg) {
+  if (alg == cfg_.ip_algorithm) {
+    return {};
+  }
+  hw::CommandLog log;
+  // 1. Clear the deactivating engines while their binding is still live.
+  for (usize i = 0; i < 4; ++i) {
+    if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
+      mbt_[i]->clear(log);
+    } else {
+      bst_[i]->clear(log);
+    }
+  }
+  // 2. Flush + re-bind the shared blocks (Fig. 5).
+  if (cfg_.share_ip_memory) {
+    for (usize i = 0; i < 4; ++i) {
+      shared_[i]->bind(role_of(alg));
+    }
+  }
+  // 3. Drive the select line.
+  log.config_toggle("IPalg_s", alg == IpAlgorithm::kBst ? 1 : 0);
+  cfg_.ip_algorithm = alg;
+  // 4. Rebuild the newly selected engines from the label tables.
+  rebuild_active_ip_engines(log);
+  return apply(log);
+}
+
+void ConfigurableClassifier::rebuild_active_ip_engines(hw::CommandLog& log) {
+  for (usize i = 0; i < 4; ++i) {
+    std::vector<std::pair<ruleset::SegmentPrefix, Label>> live;
+    ip_tables_[i].for_each(
+        [&](const ruleset::SegmentPrefix& v, Label l, Priority) {
+          live.emplace_back(v, l);
+        });
+    if (cfg_.ip_algorithm == IpAlgorithm::kBst) {
+      bst_[i]->insert_bulk(live, log);
+    } else {
+      for (const auto& [v, l] : live) {
+        mbt_[i]->insert(v, l, log);
+      }
+    }
+  }
+}
+
+alg::ListRef ConfigurableClassifier::ip_lookup(usize ip_dim_index, u16 key,
+                                               hw::CycleRecorder* rec) const {
+  return cfg_.ip_algorithm == IpAlgorithm::kMbt
+             ? mbt_[ip_dim_index]->lookup(key, rec)
+             : bst_[ip_dim_index]->lookup(key, rec);
+}
+
+ClassifyResult ConfigurableClassifier::classify(
+    const net::FiveTuple& h) const {
+  ClassifyResult out;
+
+  // Phase 2: the seven dimension lookups run in parallel; each gets its
+  // own recorder, the phase costs the slowest one.
+  std::array<hw::CycleRecorder, kNumDimensions> recs;
+  std::array<alg::ListRef, 4> ip_refs;
+  for (usize i = 0; i < 4; ++i) {
+    const u16 key = static_cast<u16>(
+        net::dimension_key(h, kIpDims[i]) & 0xFFFFu);
+    ip_refs[i] = ip_lookup(i, key, &recs[index_of(kIpDims[i])]);
+  }
+  const std::vector<Label> sport_labels =
+      sport_regs_->lookup(h.src_port, &recs[index_of(Dimension::kSrcPort)]);
+  const std::vector<Label> dport_labels =
+      dport_regs_->lookup(h.dst_port, &recs[index_of(Dimension::kDstPort)]);
+  const std::vector<Label> proto_labels =
+      proto_lut_->lookup(h.protocol, &recs[index_of(Dimension::kProtocol)]);
+
+  hw::CycleRecorder tail;  // phases 3 + 4
+  tail.charge(1, 0);       // label merge network
+
+  if (cfg_.combine_mode == CombineMode::kFirstLabel) {
+    // §III.B: "This combination is the product of the highest priority
+    // label stored in the first position in the list of each output
+    // algorithm."
+    std::array<Label, kNumDimensions> first{};
+    bool miss = sport_labels.empty() || dport_labels.empty() ||
+                proto_labels.empty();
+    for (usize i = 0; i < 4 && !miss; ++i) {
+      if (ip_refs[i].empty()) {
+        miss = true;
+        break;
+      }
+      first[index_of(kIpDims[i])] =
+          lists_[i]->read_first(ip_refs[i], &recs[index_of(kIpDims[i])]);
+    }
+    if (!miss) {
+      first[index_of(Dimension::kSrcPort)] = sport_labels.front();
+      first[index_of(Dimension::kDstPort)] = dport_labels.front();
+      first[index_of(Dimension::kProtocol)] = proto_labels.front();
+      out.crossproduct_probes = 1;
+      out.match = rule_filter_->lookup(Key68::merge(first), &tail);
+    }
+  } else {
+    // CrossProduct: enumerate the product of the (short) label lists and
+    // keep the highest-priority hit — exact by construction.
+    std::array<std::vector<Label>, kNumDimensions> lists;
+    bool miss = false;
+    for (usize i = 0; i < 4; ++i) {
+      lists[index_of(kIpDims[i])] =
+          lists_[i]->read_list(ip_refs[i], &recs[index_of(kIpDims[i])]);
+      if (lists[index_of(kIpDims[i])].empty()) miss = true;
+    }
+    lists[index_of(Dimension::kSrcPort)] = sport_labels;
+    lists[index_of(Dimension::kDstPort)] = dport_labels;
+    lists[index_of(Dimension::kProtocol)] = proto_labels;
+    if (sport_labels.empty() || dport_labels.empty() ||
+        proto_labels.empty()) {
+      miss = true;
+    }
+
+    if (!miss) {
+      std::array<usize, kNumDimensions> idx{};
+      std::array<Label, kNumDimensions> combo{};
+      std::optional<RuleEntry> best;
+      while (true) {
+        for (usize d = 0; d < kNumDimensions; ++d) {
+          combo[d] = lists[d][idx[d]];
+        }
+        ++out.crossproduct_probes;
+        if (out.crossproduct_probes > cfg_.max_crossproduct_probes) {
+          throw InternalError("classify: cross-product probe bound "
+                              "exceeded — label lists pathologically "
+                              "long");
+        }
+        const std::optional<RuleEntry> hit =
+            rule_filter_->lookup(Key68::merge(combo), &tail);
+        if (hit && (!best || hit->priority < best->priority ||
+                    (hit->priority == best->priority &&
+                     hit->rule < best->rule))) {
+          best = hit;
+        }
+        // Odometer increment over the 7 lists.
+        usize d = 0;
+        for (; d < kNumDimensions; ++d) {
+          if (++idx[d] < lists[d].size()) break;
+          idx[d] = 0;
+        }
+        if (d == kNumDimensions) break;
+      }
+      out.match = best;
+    }
+  }
+
+  u64 phase2_cycles = 0;
+  for (const auto& r : recs) {
+    phase2_cycles = std::max(phase2_cycles, r.cycles());
+    out.memory_accesses += r.memory_accesses();
+  }
+  out.cycles = 1 /*split*/ + phase2_cycles + tail.cycles();
+  out.memory_accesses += tail.memory_accesses();
+  return out;
+}
+
+ClassifyResult ConfigurableClassifier::classify_packet(
+    std::span<const u8> bytes) const {
+  const std::optional<net::FiveTuple> t = net::parse_five_tuple(bytes);
+  if (!t) {
+    ClassifyResult miss;
+    miss.cycles = 1;  // drop in the parser stage
+    return miss;
+  }
+  return classify(*t);
+}
+
+std::optional<ruleset::Rule> ConfigurableClassifier::installed_rule(
+    RuleId id) const {
+  const auto it = installed_.find(id);
+  if (it == installed_.end()) return std::nullopt;
+  return it->second.rule;
+}
+
+hw::Pipeline ConfigurableClassifier::lookup_pipeline() const {
+  u64 ip_latency, ip_ii;
+  if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
+    ip_latency = u64{cfg_.mbt.read_cycles} * cfg_.mbt.strides.size() + 1;
+    ip_ii = 1;  // fully pipelined levels
+  } else {
+    u64 depth = 1;
+    for (usize i = 0; i < 4; ++i) {
+      depth = std::max<u64>(depth, bst_[i]->depth());
+    }
+    ip_latency = depth * cfg_.bst.read_cycles + 1;
+    ip_ii = depth;  // iterative walk on one port: not pipelined
+  }
+  const u64 field_latency = std::max<u64>(ip_latency, 2);
+  return hw::Pipeline{{
+      {"header-split", 1, 1},
+      {"field-lookup", field_latency, ip_ii},
+      {"label-combine", 2, 1},
+      {"rule-filter", 1, 1},
+  }};
+}
+
+MemoryReport ConfigurableClassifier::memory_report() const {
+  MemoryReport rep;
+  auto add = [&](const std::string& name, u64 cap, u64 used) {
+    rep.blocks.push_back({name, cap, used});
+    rep.total_capacity_bits += cap;
+    rep.total_used_bits += used;
+  };
+
+  for (usize i = 0; i < 4; ++i) {
+    const auto& strides = cfg_.mbt.strides;
+    for (usize k = 0; k < mbt_[i]->levels(); ++k) {
+      const hw::Memory& m = mbt_[i]->level_memory(k);
+      const bool is_shared = cfg_.share_ip_memory && k == 1;
+      const u64 mbt_used = static_cast<u64>(mbt_[i]->node_count(k)) *
+                           (u64{1} << strides[k]) * m.word_bits();
+      if (is_shared) {
+        const u64 used = cfg_.ip_algorithm == IpAlgorithm::kMbt
+                             ? mbt_used
+                             : bst_[i]->live_node_bits();
+        add(shared_[i]->physical().name(), m.capacity_bits(), used);
+      } else {
+        add(m.name(), m.capacity_bits(), mbt_used);
+      }
+    }
+    if (!cfg_.share_ip_memory) {
+      add(bst_[i]->memory().name(), bst_[i]->capacity_bits(),
+          bst_[i]->live_node_bits());
+    }
+    add(lists_[i]->memory().name(), lists_[i]->memory().capacity_bits(),
+        lists_[i]->live_bits());
+  }
+  add(proto_lut_->memory().name(), proto_lut_->memory().capacity_bits(),
+      proto_lut_->memory().capacity_bits());
+  add(rule_filter_->memory().name(),
+      rule_filter_->memory().capacity_bits(),
+      u64{rule_filter_->size()} * rule_filter_->memory().word_bits());
+
+  rep.register_bits = sport_regs_->registers().total_bits() +
+                      dport_regs_->registers().total_bits() +
+                      proto_lut_->wildcard_register().total_bits();
+  return rep;
+}
+
+hw::SynthesisReport ConfigurableClassifier::synthesis_report() const {
+  hw::SynthesisModel sm;
+  for (usize i = 0; i < 4; ++i) {
+    for (usize k = 0; k < mbt_[i]->levels(); ++k) {
+      sm.add_memory(mbt_[i]->level_memory(k));  // shared block counted here
+    }
+    if (!cfg_.share_ip_memory) {
+      sm.add_memory(bst_[i]->memory());
+    }
+    sm.add_memory(lists_[i]->memory());
+  }
+  sm.add_memory(proto_lut_->memory());
+  sm.add_memory(rule_filter_->memory());
+  sm.add_register_file(sport_regs_->registers());
+  sm.add_register_file(dport_regs_->registers());
+  sm.add_register_file(proto_lut_->wildcard_register());
+  // Four pipeline phases; the inter-phase registers carry the split
+  // header plus the widest intermediate (7 list pointers / 68-bit key).
+  sm.add_pipeline_stages(4, 160);
+  sm.add_hash_units(1);
+  sm.set_fmax_mhz(cfg_.fmax_mhz);
+  sm.set_pins_used(500);
+  return sm.report();
+}
+
+usize ConfigurableClassifier::label_count(Dimension d) const {
+  switch (d) {
+    case Dimension::kSrcIpHi: return ip_tables_[0].size();
+    case Dimension::kSrcIpLo: return ip_tables_[1].size();
+    case Dimension::kDstIpHi: return ip_tables_[2].size();
+    case Dimension::kDstIpLo: return ip_tables_[3].size();
+    case Dimension::kSrcPort: return sport_table_.size();
+    case Dimension::kDstPort: return dport_table_.size();
+    case Dimension::kProtocol: return proto_table_.size();
+  }
+  return 0;
+}
+
+}  // namespace pclass::core

@@ -1,0 +1,70 @@
+#include "core/flow_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace pclass::core {
+
+namespace {
+constexpr unsigned kLineBits = 1 + 1 + 64 + 16 + 16 + 16;
+}
+
+FlowCache::FlowCache(std::string name, u32 depth, u64 seed)
+    : mem_(std::move(name), depth, kLineBits), seed_(seed) {}
+
+u64 FlowCache::fingerprint(const net::FiveTuple& t) const {
+  const u64 a = (u64{t.src_ip} << 32) | t.dst_ip;
+  const u64 b = (u64{t.src_port} << 24) | (u64{t.dst_port} << 8) |
+                t.protocol;
+  return mix64(a ^ mix64(b ^ seed_));
+}
+
+u32 FlowCache::index(const net::FiveTuple& t) const {
+  return static_cast<u32>(
+      mul_high_u64(mix64(fingerprint(t) ^ (seed_ >> 3)), mem_.depth()));
+}
+
+std::optional<std::optional<RuleEntry>> FlowCache::lookup(
+    const net::FiveTuple& t, hw::CycleRecorder* rec) {
+  if (rec != nullptr) {
+    rec->charge(1, 0);  // hash unit
+  }
+  hw::WordUnpacker u(mem_.read(index(t), rec));
+  const bool valid = u.pull(1) != 0;
+  const bool cached_hit = u.pull(1) != 0;
+  const u64 fp = u.pull(64);
+  if (!valid || fp != fingerprint(t)) {
+    ++stats_.misses;
+    return std::nullopt;  // cache miss: caller runs the full pipeline
+  }
+  ++stats_.hits;
+  if (!cached_hit) {
+    // Cached negative verdict: engaged outer optional, empty inner one.
+    return std::optional<std::optional<RuleEntry>>{
+        std::optional<RuleEntry>{}};
+  }
+  RuleEntry e;
+  e.rule = RuleId{static_cast<u32>(u.pull(16))};
+  e.priority = static_cast<Priority>(u.pull(16));
+  e.action = static_cast<u32>(u.pull(16));
+  return std::optional<std::optional<RuleEntry>>{e};
+}
+
+void FlowCache::fill(const net::FiveTuple& t,
+                     const std::optional<RuleEntry>& verdict) {
+  hw::WordPacker p;
+  p.push(1, 1);
+  p.push(verdict.has_value() ? 1 : 0, 1);
+  p.push(fingerprint(t), 64);
+  p.push(verdict ? (verdict->rule.value & 0xFFFFu) : 0, 16);
+  p.push(verdict ? (verdict->priority & 0xFFFFu) : 0, 16);
+  p.push(verdict ? (verdict->action & 0xFFFFu) : 0, 16);
+  mem_.write(index(t), p.word());
+  ++stats_.fills;
+}
+
+void FlowCache::invalidate_all() {
+  mem_.clear();
+  ++stats_.invalidations;
+}
+
+}  // namespace pclass::core

@@ -1,0 +1,68 @@
+/// \file cycle.hpp
+/// Cycle/access accounting for one hardware operation (a lookup or an
+/// update). Every model component charges its cost into a CycleRecorder;
+/// the benches aggregate recorders into the paper's "memory accesses per
+/// packet" and "clock cycles" measures.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace pclass::hw {
+
+/// Accumulates the cost of a single operation.
+class CycleRecorder {
+ public:
+  /// Charge \p cycles clock cycles and \p accesses memory accesses.
+  void charge(u64 cycles, u64 accesses = 0) {
+    cycles_ += cycles;
+    accesses_ += accesses;
+  }
+
+  [[nodiscard]] u64 cycles() const { return cycles_; }
+  [[nodiscard]] u64 memory_accesses() const { return accesses_; }
+
+  void reset() { *this = CycleRecorder{}; }
+
+ private:
+  u64 cycles_ = 0;
+  u64 accesses_ = 0;
+};
+
+/// Running aggregate over many operations (mean/max), used for the
+/// "average number of lookup memory accesses" columns.
+class CycleAggregate {
+ public:
+  void add(const CycleRecorder& r) {
+    ++count_;
+    total_cycles_ += r.cycles();
+    total_accesses_ += r.memory_accesses();
+    max_cycles_ = std::max(max_cycles_, r.cycles());
+    max_accesses_ = std::max(max_accesses_, r.memory_accesses());
+  }
+
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] u64 total_cycles() const { return total_cycles_; }
+  [[nodiscard]] u64 total_accesses() const { return total_accesses_; }
+  [[nodiscard]] u64 max_cycles() const { return max_cycles_; }
+  [[nodiscard]] u64 max_accesses() const { return max_accesses_; }
+
+  [[nodiscard]] double mean_cycles() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_cycles_) /
+                             static_cast<double>(count_);
+  }
+  [[nodiscard]] double mean_accesses() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_accesses_) /
+                             static_cast<double>(count_);
+  }
+
+ private:
+  u64 count_ = 0;
+  u64 total_cycles_ = 0;
+  u64 total_accesses_ = 0;
+  u64 max_cycles_ = 0;
+  u64 max_accesses_ = 0;
+};
+
+}  // namespace pclass::hw

@@ -1,0 +1,50 @@
+#include "hwsim/memory.hpp"
+
+namespace pclass::hw {
+
+Memory::Memory(std::string name, u32 depth, unsigned word_bits,
+               unsigned read_cycles)
+    : name_(std::move(name)),
+      depth_(depth),
+      word_bits_(word_bits),
+      read_cycles_(read_cycles),
+      data_(depth) {
+  if (depth == 0) {
+    throw ConfigError("Memory '" + name_ + "': depth must be > 0");
+  }
+  if (word_bits == 0 || word_bits > 128) {
+    throw ConfigError("Memory '" + name_ +
+                      "': word_bits must be in [1, 128]");
+  }
+}
+
+void Memory::check_addr(u32 addr) const {
+  if (addr >= depth_) {
+    throw ConfigError("Memory '" + name_ + "': address " +
+                      std::to_string(addr) + " out of range (depth " +
+                      std::to_string(depth_) + ")");
+  }
+}
+
+Word Memory::read(u32 addr, CycleRecorder* rec) const {
+  check_addr(addr);
+  if (rec != nullptr) {
+    rec->charge(read_cycles_, 1);
+    ++stats_.reads;
+  }
+  return data_[addr];
+}
+
+void Memory::write(u32 addr, Word value) {
+  check_addr(addr);
+  ++stats_.writes;
+  data_[addr] = value;
+  used_words_ = std::max<u64>(used_words_, u64{addr} + 1);
+}
+
+void Memory::clear() {
+  data_.assign(depth_, Word{});
+  used_words_ = 0;
+}
+
+}  // namespace pclass::hw

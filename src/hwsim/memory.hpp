@@ -1,0 +1,77 @@
+/// \file memory.hpp
+/// Block-RAM model. Every persistent datum in the architecture (trie
+/// nodes, BST nodes, label lists, protocol LUT, rule filter) lives in a
+/// named hw::Memory so that the paper's "memory space" and "memory
+/// accesses" columns are *measured* quantities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "hwsim/cycle.hpp"
+#include "hwsim/word.hpp"
+
+namespace pclass::hw {
+
+/// Lifetime access statistics of one memory block.
+struct MemoryStats {
+  u64 reads = 0;
+  u64 writes = 0;
+};
+
+/// A single-port block memory: \p depth words of \p word_bits bits.
+///
+/// Reads charge one memory access and \p read_cycles clock cycles into the
+/// supplied CycleRecorder (a nullptr recorder is allowed for debug /
+/// controller-side peeking, which models the software shadow copy and is
+/// *not* counted).
+class Memory {
+ public:
+  /// \throws ConfigError for zero geometry or word_bits > 128.
+  Memory(std::string name, u32 depth, unsigned word_bits,
+         unsigned read_cycles = 1);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] u32 depth() const { return depth_; }
+  [[nodiscard]] unsigned word_bits() const { return word_bits_; }
+  [[nodiscard]] unsigned read_cycles() const { return read_cycles_; }
+
+  /// Physical capacity in bits (depth * word_bits) — what synthesis
+  /// would allocate in block RAM.
+  [[nodiscard]] u64 capacity_bits() const {
+    return u64{depth_} * word_bits_;
+  }
+
+  /// Bits actually holding live data (high-water mark of written words).
+  [[nodiscard]] u64 used_bits() const { return used_words_ * word_bits_; }
+  [[nodiscard]] u64 used_words() const { return used_words_; }
+
+  /// Hardware-path read: charges cost into \p rec when non-null.
+  /// \throws ConfigError on out-of-range address.
+  [[nodiscard]] Word read(u32 addr, CycleRecorder* rec) const;
+
+  /// Hardware-path write (one cycle on the update bus is charged by the
+  /// caller; the memory itself just stores and counts).
+  void write(u32 addr, Word value);
+
+  /// Clear contents and high-water mark (reconfiguration flush).
+  void clear();
+
+  [[nodiscard]] const MemoryStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MemoryStats{}; }
+
+ private:
+  void check_addr(u32 addr) const;
+
+  std::string name_;
+  u32 depth_;
+  unsigned word_bits_;
+  unsigned read_cycles_;
+  std::vector<Word> data_;
+  u64 used_words_ = 0;
+  mutable MemoryStats stats_;
+};
+
+}  // namespace pclass::hw

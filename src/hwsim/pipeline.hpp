@@ -1,0 +1,64 @@
+/// \file pipeline.hpp
+/// Pipeline timing model for the 4-phase lookup process (Fig. 3):
+///   phase 1  header split + algorithm dispatch
+///   phase 2  parallel per-field lookup
+///   phase 3  label combination (merge + hash)
+///   phase 4  rule filter memory access
+///
+/// A stage is described by its latency (cycles a single item spends in
+/// it) and its initiation interval (cycles between successive items it
+/// can accept). A fully pipelined stage has II = 1 (the MBT path); a
+/// blocking stage has II = latency (the BST walk, which iterates on one
+/// shared memory port).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pclass::hw {
+
+/// One pipeline stage.
+struct Stage {
+  std::string name;
+  u64 latency = 1;              ///< cycles one item occupies the stage
+  u64 initiation_interval = 1;  ///< min cycles between item starts
+};
+
+/// Timing report for a stream of packets through the pipeline.
+struct PipelineTiming {
+  u64 packets = 0;
+  u64 total_cycles = 0;       ///< first input to last output
+  u64 latency_cycles = 0;     ///< per-packet latency (sum of stage latencies)
+  double cycles_per_packet = 0.0;  ///< steady-state initiation interval
+};
+
+/// Static pipeline model: composes stage latencies / IIs analytically and
+/// also supports a cycle-stepped simulation for verification (the two
+/// must agree; tests assert it).
+class Pipeline {
+ public:
+  explicit Pipeline(std::vector<Stage> stages);
+
+  [[nodiscard]] const std::vector<Stage>& stages() const { return stages_; }
+
+  /// Per-packet latency: sum of stage latencies.
+  [[nodiscard]] u64 latency() const;
+
+  /// Steady-state initiation interval: max stage II.
+  [[nodiscard]] u64 initiation_interval() const;
+
+  /// Analytic timing for \p packets back-to-back packets.
+  [[nodiscard]] PipelineTiming run(u64 packets) const;
+
+  /// Cycle-stepped simulation of \p packets back-to-back packets.
+  /// Used by tests to validate the analytic model.
+  [[nodiscard]] PipelineTiming simulate(u64 packets) const;
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+}  // namespace pclass::hw

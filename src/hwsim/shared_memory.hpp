@@ -1,0 +1,92 @@
+/// \file shared_memory.hpp
+/// Memory-sharing model (Fig. 5). The architecture instantiates *both* IP
+/// lookup algorithms in hardware; since synthesis must allocate all the
+/// blocks anyway, the paper shares one physical block between the MBT
+/// level-2 node store and the BST node store ("the MBT level-2 memory
+/// requires the same characteristics of dimension and output and input
+/// size as the simple BST memory"). The IPalg_s signal selects which data
+/// set the block serves; the remainder of the MBT-dedicated memory can
+/// then hold extra rules when the BST configuration is active.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "hwsim/memory.hpp"
+
+namespace pclass::hw {
+
+/// Roles a shared block can serve (Data 1 / Data 2 of Fig. 5).
+enum class SharedRole : u8 {
+  kUnbound = 0,
+  kMbtLevel2,  ///< Data 1: MBT level-2 node words
+  kBstNodes,   ///< Data 2: BST node words
+};
+
+[[nodiscard]] constexpr const char* to_string(SharedRole r) {
+  switch (r) {
+    case SharedRole::kUnbound: return "unbound";
+    case SharedRole::kMbtLevel2: return "mbt_level2";
+    case SharedRole::kBstNodes: return "bst_nodes";
+  }
+  return "?";
+}
+
+/// One physical memory block that serves one of two roles at a time,
+/// selected by the controller (IPalg_s). Rebinding flushes the contents —
+/// the data sets are different encodings and must not leak between roles.
+class SharedMemory {
+ public:
+  /// Geometry is shared by construction: both roles see identical
+  /// depth/word size, which is the condition Fig. 5 relies on.
+  SharedMemory(std::string name, u32 depth, unsigned word_bits)
+      : mem_(std::move(name), depth, word_bits) {}
+
+  [[nodiscard]] SharedRole role() const { return role_; }
+
+  /// Select which data set the block serves. Flushes on role change.
+  void bind(SharedRole role) {
+    if (role == SharedRole::kUnbound) {
+      throw ConfigError("SharedMemory: cannot bind to kUnbound");
+    }
+    if (role != role_) {
+      mem_.clear();
+      role_ = role;
+    }
+  }
+
+  /// Access the underlying block *for the currently bound role*.
+  /// \throws ConfigError when the caller's role does not match the
+  /// binding — this is the model of a mis-driven IPalg_s select line.
+  [[nodiscard]] Memory& as(SharedRole role) {
+    check(role);
+    return mem_;
+  }
+  [[nodiscard]] const Memory& as(SharedRole role) const {
+    check(role);
+    return mem_;
+  }
+
+  /// Raw block, role-agnostic (synthesis accounting only).
+  [[nodiscard]] const Memory& physical() const { return mem_; }
+
+  /// Raw mutable block for engine wiring. Engines are constructed with
+  /// this pointer before the first bind; the classifier guarantees only
+  /// the engine matching the current binding is driven (the IPalg_s
+  /// discipline), and tests use as() to assert the role checks.
+  [[nodiscard]] Memory& block() { return mem_; }
+
+ private:
+  void check(SharedRole role) const {
+    if (role != role_) {
+      throw ConfigError(std::string("SharedMemory '") + mem_.name() +
+                        "': accessed as " + to_string(role) +
+                        " while bound to " + to_string(role_));
+    }
+  }
+
+  Memory mem_;
+  SharedRole role_ = SharedRole::kUnbound;
+};
+
+}  // namespace pclass::hw

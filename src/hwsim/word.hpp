@@ -1,0 +1,89 @@
+/// \file word.hpp
+/// A hardware memory word of up to 128 bits. Memory blocks in the
+/// architecture store bit-packed node/label/rule records; Word is the
+/// raw container they are encoded into.
+#pragma once
+
+#include <compare>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace pclass::hw {
+
+/// Raw memory word: bits [63:0] in lo, bits [127:64] in hi.
+struct Word {
+  u64 lo = 0;
+  u64 hi = 0;
+
+  friend constexpr auto operator<=>(const Word&, const Word&) = default;
+
+  /// Extract \p width bits starting at absolute bit position \p lsb
+  /// (which may straddle the lo/hi boundary).
+  [[nodiscard]] constexpr u64 get(unsigned lsb, unsigned width) const {
+    assert(width <= 64 && lsb + width <= 128);
+    if (lsb >= 64) {
+      return extract_bits(hi, lsb - 64, width);
+    }
+    if (lsb + width <= 64) {
+      return extract_bits(lo, lsb, width);
+    }
+    const unsigned lo_bits = 64 - lsb;
+    const u64 low_part = extract_bits(lo, lsb, lo_bits);
+    const u64 high_part = extract_bits(hi, 0, width - lo_bits);
+    return low_part | (high_part << lo_bits);
+  }
+
+  /// Deposit \p field of \p width bits at absolute bit position \p lsb.
+  constexpr void set(unsigned lsb, unsigned width, u64 field) {
+    assert(width <= 64 && lsb + width <= 128);
+    assert(field <= mask_low(width));
+    if (lsb >= 64) {
+      hi = deposit_bits(hi, field, lsb - 64, width);
+      return;
+    }
+    if (lsb + width <= 64) {
+      lo = deposit_bits(lo, field, lsb, width);
+      return;
+    }
+    const unsigned lo_bits = 64 - lsb;
+    lo = deposit_bits(lo, extract_bits(field, 0, lo_bits), lsb, lo_bits);
+    hi = deposit_bits(hi, field >> lo_bits, 0, width - lo_bits);
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const { return lo == 0 && hi == 0; }
+};
+
+/// Incremental bit-field writer: packs fields LSB-first into a Word.
+/// Used by the encoders so field layout is written exactly once.
+class WordPacker {
+ public:
+  WordPacker& push(u64 field, unsigned width) {
+    word_.set(pos_, width, field);
+    pos_ += width;
+    return *this;
+  }
+  [[nodiscard]] unsigned bits_used() const { return pos_; }
+  [[nodiscard]] Word word() const { return word_; }
+
+ private:
+  Word word_{};
+  unsigned pos_ = 0;
+};
+
+/// Matching reader: unpacks fields LSB-first.
+class WordUnpacker {
+ public:
+  explicit constexpr WordUnpacker(Word w) : word_(w) {}
+  u64 pull(unsigned width) {
+    const u64 v = word_.get(pos_, width);
+    pos_ += width;
+    return v;
+  }
+
+ private:
+  Word word_;
+  unsigned pos_ = 0;
+};
+
+}  // namespace pclass::hw

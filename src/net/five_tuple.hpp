@@ -1,0 +1,65 @@
+/// \file five_tuple.hpp
+/// The classification 5-tuple (§I: "five tuples from packet headers are
+/// used for classification: protocol, destination and source ports and
+/// source and destination addresses") and its decomposition into the
+/// architecture's 7 per-dimension search keys.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace pclass::net {
+
+/// Layer 3/4 header fields used for classification.
+struct FiveTuple {
+  u32 src_ip = 0;
+  u32 dst_ip = 0;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u8 protocol = 0;
+
+  friend constexpr auto operator<=>(const FiveTuple&,
+                                    const FiveTuple&) = default;
+};
+
+/// Phase-1 of the lookup process (Fig. 3): "the packet header is split
+/// into segments, which are sent to the corresponding algorithm".
+/// Returns the search key for one dimension (IP segments are 16-bit,
+/// ports 16-bit, protocol 8-bit, all zero-extended to u32).
+[[nodiscard]] constexpr u32 dimension_key(const FiveTuple& h, Dimension d) {
+  switch (d) {
+    case Dimension::kSrcIpHi: return ip_hi16(h.src_ip);
+    case Dimension::kSrcIpLo: return ip_lo16(h.src_ip);
+    case Dimension::kDstIpHi: return ip_hi16(h.dst_ip);
+    case Dimension::kDstIpLo: return ip_lo16(h.dst_ip);
+    case Dimension::kSrcPort: return h.src_port;
+    case Dimension::kDstPort: return h.dst_port;
+    case Dimension::kProtocol: return h.protocol;
+  }
+  return 0;
+}
+
+/// Dotted-quad rendering of an IPv4 address.
+[[nodiscard]] std::string ip_to_string(u32 ip);
+
+/// "sip:sport -> dip:dport proto" rendering for logs and examples.
+[[nodiscard]] std::string to_string(const FiveTuple& t);
+
+}  // namespace pclass::net
+
+template <>
+struct std::hash<pclass::net::FiveTuple> {
+  std::size_t operator()(const pclass::net::FiveTuple& t) const noexcept {
+    pclass::u64 a = (pclass::u64{t.src_ip} << 32) | t.dst_ip;
+    pclass::u64 b = (pclass::u64{t.src_port} << 32) |
+                    (pclass::u64{t.dst_port} << 16) | t.protocol;
+    pclass::u64 x = a * 0x9E3779B97F4A7C15ULL ^ b;
+    x ^= x >> 29;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x);
+  }
+};

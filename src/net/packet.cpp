@@ -1,0 +1,122 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace pclass::net {
+
+std::string ip_to_string(u32 ip) {
+  std::ostringstream ss;
+  ss << ((ip >> 24) & 0xFF) << '.' << ((ip >> 16) & 0xFF) << '.'
+     << ((ip >> 8) & 0xFF) << '.' << (ip & 0xFF);
+  return ss.str();
+}
+
+std::string to_string(const FiveTuple& t) {
+  std::ostringstream ss;
+  ss << ip_to_string(t.src_ip) << ':' << t.src_port << " -> "
+     << ip_to_string(t.dst_ip) << ':' << t.dst_port << " proto "
+     << unsigned{t.protocol};
+  return ss.str();
+}
+
+u16 internet_checksum(std::span<const u8> bytes) {
+  u32 sum = 0;
+  usize i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (u32{bytes[i]} << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum += u32{bytes[i]} << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFFu) + (sum >> 16);
+  }
+  return static_cast<u16>(~sum & 0xFFFFu);
+}
+
+namespace {
+
+void put16(std::vector<u8>& v, usize off, u16 x) {
+  v[off] = static_cast<u8>(x >> 8);
+  v[off + 1] = static_cast<u8>(x & 0xFF);
+}
+
+void put32(std::vector<u8>& v, usize off, u32 x) {
+  v[off] = static_cast<u8>(x >> 24);
+  v[off + 1] = static_cast<u8>((x >> 16) & 0xFF);
+  v[off + 2] = static_cast<u8>((x >> 8) & 0xFF);
+  v[off + 3] = static_cast<u8>(x & 0xFF);
+}
+
+u16 get16(std::span<const u8> v, usize off) {
+  return static_cast<u16>((u16{v[off]} << 8) | v[off + 1]);
+}
+
+u32 get32(std::span<const u8> v, usize off) {
+  return (u32{v[off]} << 24) | (u32{v[off + 1]} << 16) |
+         (u32{v[off + 2]} << 8) | u32{v[off + 3]};
+}
+
+}  // namespace
+
+Packet make_packet(const FiveTuple& t, usize payload_len) {
+  const bool has_ports = t.protocol == kProtoTcp || t.protocol == kProtoUdp;
+  const usize l4_hdr = t.protocol == kProtoTcp   ? kTcpHeaderBytes
+                       : t.protocol == kProtoUdp ? kUdpHeaderBytes
+                                                 : 0;
+  const usize total = kIpv4HeaderBytes + l4_hdr + payload_len;
+
+  Packet pkt;
+  pkt.bytes.assign(total, 0);
+  auto& b = pkt.bytes;
+
+  // IPv4 header.
+  b[0] = 0x45;  // version 4, IHL 5
+  put16(b, 2, static_cast<u16>(total));
+  b[8] = 64;  // TTL
+  b[9] = t.protocol;
+  put32(b, 12, t.src_ip);
+  put32(b, 16, t.dst_ip);
+  const u16 csum =
+      internet_checksum(std::span<const u8>{b.data(), kIpv4HeaderBytes});
+  put16(b, 10, csum);
+
+  if (has_ports) {
+    put16(b, kIpv4HeaderBytes + 0, t.src_port);
+    put16(b, kIpv4HeaderBytes + 2, t.dst_port);
+    if (t.protocol == kProtoTcp) {
+      b[kIpv4HeaderBytes + 12] = 0x50;  // data offset = 5 words
+    } else {
+      put16(b, kIpv4HeaderBytes + 4,
+            static_cast<u16>(kUdpHeaderBytes + payload_len));
+    }
+  }
+  return pkt;
+}
+
+std::optional<FiveTuple> parse_five_tuple(std::span<const u8> bytes) {
+  if (bytes.size() < kIpv4HeaderBytes) {
+    return std::nullopt;
+  }
+  if ((bytes[0] >> 4) != 4) {
+    return std::nullopt;  // not IPv4
+  }
+  const usize ihl = usize{bytes[0] & 0x0Fu} * 4;
+  if (ihl < kIpv4HeaderBytes || bytes.size() < ihl) {
+    return std::nullopt;
+  }
+  FiveTuple t;
+  t.protocol = bytes[9];
+  t.src_ip = get32(bytes, 12);
+  t.dst_ip = get32(bytes, 16);
+  if (t.protocol == kProtoTcp || t.protocol == kProtoUdp) {
+    if (bytes.size() < ihl + 4) {
+      return std::nullopt;  // truncated L4 header
+    }
+    t.src_port = get16(bytes, ihl + 0);
+    t.dst_port = get16(bytes, ihl + 2);
+  }
+  return t;
+}
+
+}  // namespace pclass::net

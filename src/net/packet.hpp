@@ -1,0 +1,48 @@
+/// \file packet.hpp
+/// Minimal wire-format substrate: synthesize and parse real IPv4 +
+/// TCP/UDP/ICMP headers so the classifier's phase-1 "header split" runs
+/// against genuine packet bytes, not pre-parsed tuples. This is what a
+/// deployment in front of a MAC/PHY would see.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+
+namespace pclass::net {
+
+inline constexpr u8 kProtoIcmp = 1;
+inline constexpr u8 kProtoTcp = 6;
+inline constexpr u8 kProtoUdp = 17;
+
+inline constexpr usize kIpv4HeaderBytes = 20;
+inline constexpr usize kTcpHeaderBytes = 20;
+inline constexpr usize kUdpHeaderBytes = 8;
+
+/// A raw packet plus its arrival metadata.
+struct Packet {
+  std::vector<u8> bytes;
+  u64 arrival_ns = 0;
+
+  [[nodiscard]] usize size() const { return bytes.size(); }
+};
+
+/// Build a well-formed IPv4 packet (correct version/IHL/length/checksum)
+/// whose 5-tuple equals \p t. For TCP/UDP the L4 ports are filled; for
+/// other protocols the port fields of \p t are ignored (they classify as
+/// zero, mirroring hardware that reads fixed offsets).
+/// \param payload_len  L4 payload bytes (zero-filled).
+[[nodiscard]] Packet make_packet(const FiveTuple& t, usize payload_len = 0);
+
+/// Parse the 5-tuple from raw bytes. Returns std::nullopt for truncated
+/// or non-IPv4 input (the device's pre-classifier drop path).
+[[nodiscard]] std::optional<FiveTuple> parse_five_tuple(
+    std::span<const u8> bytes);
+
+/// RFC 1071 16-bit one's-complement checksum over \p bytes.
+[[nodiscard]] u16 internet_checksum(std::span<const u8> bytes);
+
+}  // namespace pclass::net

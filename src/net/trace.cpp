@@ -1,0 +1,56 @@
+#include "net/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pclass::net {
+
+void Trace::write(std::ostream& os) const {
+  for (const TraceEntry& e : entries_) {
+    os << e.header.src_ip << '\t' << e.header.dst_ip << '\t'
+       << e.header.src_port << '\t' << e.header.dst_port << '\t'
+       << unsigned{e.header.protocol};
+    if (e.origin_rule.has_value()) {
+      os << '\t' << e.origin_rule->value;
+    }
+    os << '\n';
+  }
+}
+
+Trace Trace::read(std::istream& is) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  usize line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ss(line);
+    u64 sip = 0, dip = 0, sport = 0, dport = 0, proto = 0;
+    if (!(ss >> sip >> dip >> sport >> dport >> proto)) {
+      throw ParseError("trace line " + std::to_string(line_no) +
+                       ": expected 5 integer fields");
+    }
+    if (sip > 0xFFFFFFFFull || dip > 0xFFFFFFFFull || sport > 0xFFFF ||
+        dport > 0xFFFF || proto > 0xFF) {
+      throw ParseError("trace line " + std::to_string(line_no) +
+                       ": field out of range");
+    }
+    TraceEntry e;
+    e.header = FiveTuple{static_cast<u32>(sip), static_cast<u32>(dip),
+                         static_cast<u16>(sport), static_cast<u16>(dport),
+                         static_cast<u8>(proto)};
+    if (u64 rid = 0; ss >> rid) {
+      e.origin_rule = RuleId{static_cast<u32>(rid)};
+    }
+    entries.push_back(e);
+  }
+  return Trace{std::move(entries)};
+}
+
+}  // namespace pclass::net

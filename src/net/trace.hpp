@@ -1,0 +1,52 @@
+/// \file trace.hpp
+/// Header-trace container with ClassBench trace-file compatible text I/O.
+/// A trace line is five integers (optionally a sixth: the id of the rule
+/// the header was derived from, used by correctness checks):
+///   <src_ip> <dst_ip> <src_port> <dst_port> <protocol> [<rule_id>]
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+
+namespace pclass::net {
+
+/// One trace record.
+struct TraceEntry {
+  FiveTuple header;
+  /// Rule the generator derived this header from (not necessarily the
+  /// HPMR — an earlier rule may shadow it).
+  std::optional<RuleId> origin_rule;
+};
+
+/// A sequence of headers to classify.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] usize size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const TraceEntry& operator[](usize i) const {
+    return entries_[i];
+  }
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+  void add(TraceEntry e) { entries_.push_back(e); }
+
+  /// Serialize in ClassBench trace format.
+  void write(std::ostream& os) const;
+
+  /// Parse a ClassBench-format trace. \throws ParseError on bad input.
+  [[nodiscard]] static Trace read(std::istream& is);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace pclass::net

@@ -1,0 +1,139 @@
+#include "ruleset/classbench.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/packet.hpp"
+
+namespace pclass::ruleset::classbench {
+
+namespace {
+
+[[noreturn]] void fail(usize line_no, const std::string& what) {
+  throw ParseError("classbench line " + std::to_string(line_no) + ": " +
+                   what);
+}
+
+/// Parse "a.b.c.d/len".
+IpPrefix parse_prefix(const std::string& tok, usize line_no) {
+  unsigned a = 0, b = 0, c = 0, d = 0, len = 0;
+  char s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+  std::istringstream ss(tok);
+  if (!(ss >> a >> s1 >> b >> s2 >> c >> s3 >> d >> s4 >> len) ||
+      s1 != '.' || s2 != '.' || s3 != '.' || s4 != '/') {
+    fail(line_no, "bad prefix '" + tok + "'");
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255 || len > 32) {
+    fail(line_no, "prefix field out of range in '" + tok + "'");
+  }
+  return IpPrefix::make(ipv4(static_cast<u8>(a), static_cast<u8>(b),
+                             static_cast<u8>(c), static_cast<u8>(d)),
+                        static_cast<u8>(len));
+}
+
+/// Parse "<lo> : <hi>" given the three tokens.
+PortRange parse_range(const std::string& lo_tok, const std::string& colon,
+                      const std::string& hi_tok, usize line_no) {
+  if (colon != ":") {
+    fail(line_no, "expected ':' between port bounds, got '" + colon + "'");
+  }
+  unsigned long lo = 0, hi = 0;
+  try {
+    lo = std::stoul(lo_tok);
+    hi = std::stoul(hi_tok);
+  } catch (const std::exception&) {
+    fail(line_no, "bad port bound");
+  }
+  if (lo > 0xFFFF || hi > 0xFFFF || lo > hi) {
+    fail(line_no, "port bounds out of range");
+  }
+  return PortRange::make(static_cast<u16>(lo), static_cast<u16>(hi));
+}
+
+/// Parse "0xVV/0xMM".
+ProtoMatch parse_proto(const std::string& tok, usize line_no) {
+  const auto slash = tok.find('/');
+  if (slash == std::string::npos) {
+    fail(line_no, "bad protocol '" + tok + "'");
+  }
+  unsigned long value = 0, mask = 0;
+  try {
+    value = std::stoul(tok.substr(0, slash), nullptr, 0);
+    mask = std::stoul(tok.substr(slash + 1), nullptr, 0);
+  } catch (const std::exception&) {
+    fail(line_no, "bad protocol '" + tok + "'");
+  }
+  if (value > 0xFF || (mask != 0 && mask != 0xFF)) {
+    fail(line_no, "protocol value/mask out of range in '" + tok + "'");
+  }
+  return mask == 0 ? ProtoMatch::any()
+                   : ProtoMatch::exact(static_cast<u8>(value));
+}
+
+}  // namespace
+
+RuleSet read(std::istream& is, std::string name) {
+  RuleSet out(std::move(name));
+  std::string line;
+  usize line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    if (const auto hash_pos = line.find('#'); hash_pos != std::string::npos) {
+      line.erase(hash_pos);
+    }
+    std::istringstream ss(line);
+    std::string first;
+    if (!(ss >> first)) {
+      continue;  // blank
+    }
+    if (first.empty() || first[0] != '@') {
+      fail(line_no, "rule must start with '@'");
+    }
+
+    Rule r;
+    r.src_ip = parse_prefix(first.substr(1), line_no);
+    std::string tok;
+    if (!(ss >> tok)) fail(line_no, "missing destination prefix");
+    r.dst_ip = parse_prefix(tok, line_no);
+
+    std::string lo, colon, hi;
+    if (!(ss >> lo >> colon >> hi)) fail(line_no, "missing source ports");
+    r.src_port = parse_range(lo, colon, hi, line_no);
+    if (!(ss >> lo >> colon >> hi)) {
+      fail(line_no, "missing destination ports");
+    }
+    r.dst_port = parse_range(lo, colon, hi, line_no);
+
+    if (!(ss >> tok)) fail(line_no, "missing protocol");
+    r.proto = parse_proto(tok, line_no);
+
+    r.priority = static_cast<Priority>(out.size());
+    out.add(r);
+  }
+  return out;
+}
+
+void write(const RuleSet& rules, std::ostream& os) {
+  for (const Rule& r : rules) {
+    os << '@' << net::ip_to_string(r.src_ip.value) << '/'
+       << unsigned{r.src_ip.length} << '\t'
+       << net::ip_to_string(r.dst_ip.value) << '/'
+       << unsigned{r.dst_ip.length} << '\t' << r.src_port.lo << " : "
+       << r.src_port.hi << '\t' << r.dst_port.lo << " : " << r.dst_port.hi
+       << '\t';
+    char buf[16];
+    if (r.proto.wildcard) {
+      os << "0x00/0x00";
+    } else {
+      std::snprintf(buf, sizeof buf, "0x%02X/0xFF", r.proto.value);
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace pclass::ruleset::classbench

@@ -1,0 +1,27 @@
+/// \file classbench.hpp
+/// Reader/writer for the standard ClassBench filter format used by the
+/// paper's filter sets [12] (and by essentially every packet
+/// classification paper since). One rule per line:
+///
+///   @<sip>/<len> <dip>/<len> <lo> : <hi> <lo> : <hi> <proto>/<mask> [extra]
+///
+/// e.g. `@192.168.0.0/16  10.1.2.3/32  0 : 65535  80 : 80  0x06/0xFF`
+///
+/// Protocol mask is 0xFF (exact) or 0x00 (wildcard). Any trailing fields
+/// (ClassBench flag columns) are preserved-ignored on read.
+#pragma once
+
+#include <iosfwd>
+
+#include "ruleset/rule_set.hpp"
+
+namespace pclass::ruleset::classbench {
+
+/// Parse a filter file. Priorities are assigned by line order.
+/// \throws ParseError with a line number on malformed input.
+[[nodiscard]] RuleSet read(std::istream& is, std::string name = "filter");
+
+/// Serialize in ClassBench format (round-trips through read()).
+void write(const RuleSet& rules, std::ostream& os);
+
+}  // namespace pclass::ruleset::classbench

@@ -1,0 +1,185 @@
+/// \file rule.hpp
+/// The classification rule model: per-field match syntaxes (§II: "Each of
+/// these fields is defined in diverse syntaxes, such as ranges or
+/// prefixes") and the 5-tuple rule. Field types are value types with full
+/// equality — uniqueness of field values is what the label method counts.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "net/five_tuple.hpp"
+
+namespace pclass::ruleset {
+
+/// A prefix on one 16-bit IP segment (the unit the architecture actually
+/// searches: each 32-bit address is two 16-bit segment lookups).
+struct SegmentPrefix {
+  u16 value = 0;  ///< host bits are zero (normalized)
+  u8 length = 0;  ///< 0..16
+
+  [[nodiscard]] static SegmentPrefix make(u16 value, u8 length) {
+    if (length > 16) {
+      throw ConfigError("SegmentPrefix: length > 16");
+    }
+    const u16 masked =
+        length == 0 ? u16{0}
+                    : static_cast<u16>(value & (0xFFFFu << (16 - length)));
+    return SegmentPrefix{masked, length};
+  }
+
+  [[nodiscard]] constexpr bool matches(u16 key) const {
+    if (length == 0) return true;
+    return static_cast<u16>((key ^ value) >> (16 - length)) == 0;
+  }
+
+  [[nodiscard]] constexpr bool is_wildcard() const { return length == 0; }
+
+  friend constexpr auto operator<=>(const SegmentPrefix&,
+                                    const SegmentPrefix&) = default;
+};
+
+/// An IPv4 prefix (Longest-Prefix-Match syntax).
+struct IpPrefix {
+  u32 value = 0;  ///< host bits are zero (normalized)
+  u8 length = 0;  ///< 0..32
+
+  /// Normalizing factory — host bits of \p value are cleared.
+  /// \throws ConfigError if length > 32.
+  [[nodiscard]] static IpPrefix make(u32 value, u8 length) {
+    if (length > 32) {
+      throw ConfigError("IpPrefix: length > 32");
+    }
+    const u32 masked =
+        length == 0 ? 0u : (value & (0xFFFFFFFFu << (32 - length)));
+    return IpPrefix{masked, length};
+  }
+
+  [[nodiscard]] constexpr bool matches(u32 addr) const {
+    if (length == 0) return true;
+    return ((addr ^ value) >> (32 - length)) == 0;
+  }
+
+  [[nodiscard]] constexpr bool is_wildcard() const { return length == 0; }
+
+  /// High 16-bit segment view (§III.C): a prefix of length L constrains
+  /// the high segment by min(L, 16) bits.
+  [[nodiscard]] SegmentPrefix hi_segment() const {
+    return SegmentPrefix::make(ip_hi16(value),
+                               static_cast<u8>(std::min<u8>(length, 16)));
+  }
+
+  /// Low 16-bit segment view: unconstrained (wildcard) unless L > 16.
+  [[nodiscard]] SegmentPrefix lo_segment() const {
+    return length <= 16
+               ? SegmentPrefix{}
+               : SegmentPrefix::make(ip_lo16(value),
+                                     static_cast<u8>(length - 16));
+  }
+
+  friend constexpr auto operator<=>(const IpPrefix&,
+                                    const IpPrefix&) = default;
+};
+
+/// An inclusive port range [lo, hi] (Range-Match syntax). Exact matches
+/// are the degenerate lo == hi case — exactly the paper's Table IV model.
+struct PortRange {
+  u16 lo = 0;
+  u16 hi = 0xFFFF;
+
+  [[nodiscard]] static PortRange make(u16 lo, u16 hi) {
+    if (lo > hi) {
+      throw ConfigError("PortRange: lo > hi");
+    }
+    return PortRange{lo, hi};
+  }
+
+  [[nodiscard]] static constexpr PortRange exact(u16 p) {
+    return PortRange{p, p};
+  }
+  [[nodiscard]] static constexpr PortRange wildcard() {
+    return PortRange{0, 0xFFFF};
+  }
+
+  [[nodiscard]] constexpr bool contains(u16 p) const {
+    return lo <= p && p <= hi;
+  }
+  [[nodiscard]] constexpr bool is_exact() const { return lo == hi; }
+  [[nodiscard]] constexpr bool is_wildcard() const {
+    return lo == 0 && hi == 0xFFFF;
+  }
+  /// Number of port values covered; the paper's tightest-range-first
+  /// priority (§III.C.1) orders ascending by this.
+  [[nodiscard]] constexpr u32 width() const { return u32{hi} - lo + 1; }
+
+  friend constexpr auto operator<=>(const PortRange&,
+                                    const PortRange&) = default;
+};
+
+/// Protocol match (Exact-Match syntax with optional wildcard, ClassBench
+/// encodes it as value/mask with mask in {0x00, 0xFF}).
+struct ProtoMatch {
+  u8 value = 0;
+  bool wildcard = true;
+
+  [[nodiscard]] static constexpr ProtoMatch exact(u8 p) {
+    return ProtoMatch{p, false};
+  }
+  [[nodiscard]] static constexpr ProtoMatch any() {
+    return ProtoMatch{0, true};
+  }
+
+  [[nodiscard]] constexpr bool matches(u8 p) const {
+    return wildcard || p == value;
+  }
+
+  friend constexpr auto operator<=>(const ProtoMatch&,
+                                    const ProtoMatch&) = default;
+};
+
+/// Opaque forwarding action token. The SDN layer gives it meaning
+/// (output port / drop / group redirect); the classifier just stores it.
+struct Action {
+  u32 token = 0;
+
+  friend constexpr auto operator<=>(const Action&, const Action&) = default;
+};
+
+/// One 5-tuple classification rule.
+struct Rule {
+  IpPrefix src_ip{};
+  IpPrefix dst_ip{};
+  PortRange src_port = PortRange::wildcard();
+  PortRange dst_port = PortRange::wildcard();
+  ProtoMatch proto = ProtoMatch::any();
+
+  Priority priority = 0;  ///< smaller value = higher priority
+  RuleId id{};
+  Action action{};
+
+  /// Full 5-tuple match check (the linear-search oracle uses this).
+  [[nodiscard]] bool matches(const net::FiveTuple& h) const {
+    return src_ip.matches(h.src_ip) && dst_ip.matches(h.dst_ip) &&
+           src_port.contains(h.src_port) && dst_port.contains(h.dst_port) &&
+           proto.matches(h.protocol);
+  }
+
+  /// Equality of the *match part* only (dedup ignores priority/id/action).
+  [[nodiscard]] bool same_match(const Rule& o) const {
+    return src_ip == o.src_ip && dst_ip == o.dst_ip &&
+           src_port == o.src_port && dst_port == o.dst_port &&
+           proto == o.proto;
+  }
+};
+
+/// Human-readable rendering, ClassBench-flavoured.
+[[nodiscard]] std::string to_string(const Rule& r);
+
+/// 64-bit fingerprint of the match part (not priority/id/action), used
+/// for duplicate detection in dedup, generation and installation paths.
+[[nodiscard]] u64 match_fingerprint(const Rule& r);
+
+}  // namespace pclass::ruleset

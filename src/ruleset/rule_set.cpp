@@ -1,0 +1,54 @@
+#include "ruleset/rule_set.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/hash.hpp"
+#include "net/packet.hpp"
+
+namespace pclass::ruleset {
+
+std::string to_string(const Rule& r) {
+  std::ostringstream ss;
+  ss << '@' << net::ip_to_string(r.src_ip.value) << '/'
+     << unsigned{r.src_ip.length} << ' ' << net::ip_to_string(r.dst_ip.value)
+     << '/' << unsigned{r.dst_ip.length} << ' ' << r.src_port.lo << " : "
+     << r.src_port.hi << ' ' << r.dst_port.lo << " : " << r.dst_port.hi
+     << ' ';
+  if (r.proto.wildcard) {
+    ss << "0x00/0x00";
+  } else {
+    ss << "0x" << std::hex << unsigned{r.proto.value} << "/0xFF" << std::dec;
+  }
+  ss << "  # id=" << r.id.value << " prio=" << r.priority;
+  return ss.str();
+}
+
+u64 match_fingerprint(const Rule& r) {
+  u64 h = mix64((u64{r.src_ip.value} << 8) | r.src_ip.length);
+  h = mix64(h ^ ((u64{r.dst_ip.value} << 8) | r.dst_ip.length));
+  h = mix64(h ^ ((u64{r.src_port.lo} << 16) | r.src_port.hi));
+  h = mix64(h ^ ((u64{r.dst_port.lo} << 16) | r.dst_port.hi));
+  h = mix64(h ^ ((u64{r.proto.value} << 1) | (r.proto.wildcard ? 1u : 0u)));
+  return h;
+}
+
+RuleSet RuleSet::deduplicated() const {
+  RuleSet out(name_);
+  std::unordered_set<u64> seen;
+  seen.reserve(rules_.size() * 2);
+  for (const Rule& r : rules_) {
+    // Fingerprint collisions across *different* match parts are possible
+    // in principle (64-bit), but would only drop a rule; the tests compare
+    // against a field-wise dedup to rule this out at our set sizes.
+    if (!seen.insert(match_fingerprint(r)).second) {
+      continue;
+    }
+    Rule copy = r;
+    copy.priority = static_cast<Priority>(out.size());
+    out.add(copy);
+  }
+  return out;
+}
+
+}  // namespace pclass::ruleset

@@ -1,0 +1,77 @@
+/// \file rule_set.hpp
+/// Ordered rule container. Position defines priority (ACL semantics: the
+/// first matching rule in the file is the HPMR), ids are stable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ruleset/rule.hpp"
+
+namespace pclass::ruleset {
+
+/// The kind of filter set (ClassBench families, Table III).
+enum class FilterType : u8 { kAcl, kFw, kIpc };
+
+[[nodiscard]] constexpr const char* to_string(FilterType t) {
+  switch (t) {
+    case FilterType::kAcl: return "acl";
+    case FilterType::kFw: return "fw";
+    case FilterType::kIpc: return "ipc";
+  }
+  return "?";
+}
+
+/// An ordered set of rules. Appending assigns priority = position and a
+/// fresh RuleId unless the rule already carries one.
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] usize size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] const Rule& operator[](usize i) const { return rules_[i]; }
+  [[nodiscard]] auto begin() const { return rules_.begin(); }
+  [[nodiscard]] auto end() const { return rules_.end(); }
+
+  /// Append a rule; priority and id are assigned from the position if the
+  /// rule does not carry valid ones. Returns the stored rule.
+  const Rule& add(Rule r) {
+    if (!r.id.valid()) {
+      r.id = RuleId{next_id_++};
+    } else {
+      next_id_ = std::max(next_id_, r.id.value + 1);
+    }
+    if (r.priority == 0 && !rules_.empty()) {
+      r.priority = static_cast<Priority>(rules_.size());
+    }
+    rules_.push_back(r);
+    return rules_.back();
+  }
+
+  /// Find by id (linear; controller-side convenience).
+  [[nodiscard]] std::optional<Rule> find(RuleId id) const {
+    for (const Rule& r : rules_) {
+      if (r.id == id) return r;
+    }
+    return std::nullopt;
+  }
+
+  /// Copy with duplicate *match parts* removed, keeping the first
+  /// (highest-priority) occurrence; priorities are re-densified. This is
+  /// the ClassBench post-processing that turns a nominal "1K" seed into
+  /// the 916-rule acl1 set of Table III.
+  [[nodiscard]] RuleSet deduplicated() const;
+
+ private:
+  std::string name_;
+  std::vector<Rule> rules_;
+  u32 next_id_ = 0;
+};
+
+}  // namespace pclass::ruleset

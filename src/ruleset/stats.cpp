@@ -1,0 +1,79 @@
+#include "ruleset/stats.hpp"
+
+#include <set>
+
+namespace pclass::ruleset {
+
+namespace {
+
+// Bits to store one field value verbatim in a rule record.
+constexpr u64 kIpFieldBits = 32 + 6;   // value + prefix length
+constexpr u64 kPortFieldBits = 32;     // lo + hi
+constexpr u64 kProtoFieldBits = 9;     // value + wildcard flag
+constexpr u64 kSegmentFieldBits = 16 + 5;  // segment value + length
+
+}  // namespace
+
+RuleSetStats RuleSetStats::analyze(const RuleSet& rules) {
+  RuleSetStats s;
+  s.rules = rules.size();
+
+  std::set<std::pair<u32, u8>> src_ip, dst_ip;
+  std::set<std::pair<u16, u16>> src_port, dst_port;
+  std::set<std::pair<u8, bool>> proto;
+  std::array<std::set<std::pair<u16, u8>>, 4> segments;  // 4 IP dims
+  std::array<std::set<std::pair<u16, u16>>, 2> port_dims;
+
+  for (const Rule& r : rules) {
+    src_ip.insert({r.src_ip.value, r.src_ip.length});
+    dst_ip.insert({r.dst_ip.value, r.dst_ip.length});
+    src_port.insert({r.src_port.lo, r.src_port.hi});
+    dst_port.insert({r.dst_port.lo, r.dst_port.hi});
+    proto.insert({r.proto.value, r.proto.wildcard});
+
+    const SegmentPrefix seg[4] = {
+        r.src_ip.hi_segment(), r.src_ip.lo_segment(), r.dst_ip.hi_segment(),
+        r.dst_ip.lo_segment()};
+    for (usize d = 0; d < 4; ++d) {
+      segments[d].insert({seg[d].value, seg[d].length});
+    }
+    port_dims[0].insert({r.src_port.lo, r.src_port.hi});
+    port_dims[1].insert({r.dst_port.lo, r.dst_port.hi});
+  }
+
+  s.unique_src_ip = src_ip.size();
+  s.unique_dst_ip = dst_ip.size();
+  s.unique_src_port = src_port.size();
+  s.unique_dst_port = dst_port.size();
+  s.unique_protocol = proto.size();
+
+  for (usize d = 0; d < 4; ++d) {
+    s.unique_per_dimension[d] = segments[d].size();
+  }
+  s.unique_per_dimension[index_of(Dimension::kSrcPort)] = port_dims[0].size();
+  s.unique_per_dimension[index_of(Dimension::kDstPort)] = port_dims[1].size();
+  s.unique_per_dimension[index_of(Dimension::kProtocol)] = proto.size();
+
+  const u64 per_rule_bits =
+      2 * kIpFieldBits + 2 * kPortFieldBits + kProtoFieldBits;
+  s.field_bits_replicated = s.rules * per_rule_bits;
+
+  s.field_bits_unique_only =
+      (s.unique_src_ip + s.unique_dst_ip) * kIpFieldBits +
+      (s.unique_src_port + s.unique_dst_port) * kPortFieldBits +
+      s.unique_protocol * kProtoFieldBits;
+
+  // Architecture accounting: unique *segment* values once (that is what
+  // the per-dimension structures store) + per-rule 68-bit label record.
+  u64 unique_store = 0;
+  for (usize d = 0; d < 4; ++d) {
+    unique_store += segments[d].size() * kSegmentFieldBits;
+  }
+  unique_store += (port_dims[0].size() + port_dims[1].size()) * kPortFieldBits;
+  unique_store += proto.size() * kProtoFieldBits;
+  s.field_bits_labelled = unique_store + s.rules * kMergedKeyBits;
+
+  return s;
+}
+
+}  // namespace pclass::ruleset

@@ -1,0 +1,74 @@
+#include "ruleset/trace_gen.hpp"
+
+#include "common/error.hpp"
+#include "net/packet.hpp"
+
+namespace pclass::ruleset {
+
+TraceGenerator::TraceGenerator(const RuleSet& rules, TraceOptions opts)
+    : rules_(rules), opts_(opts), rng_(opts.seed) {
+  if (rules.empty()) {
+    throw ConfigError("TraceGenerator: rule set is empty");
+  }
+}
+
+net::FiveTuple TraceGenerator::header_for_rule(const Rule& rule, Rng& rng) {
+  net::FiveTuple h;
+
+  auto draw_ip = [&](const IpPrefix& p) {
+    if (p.length >= 32) return p.value;
+    const u32 host_bits = 32 - p.length;
+    const u32 host = static_cast<u32>(
+        rng.next() & ((host_bits == 32) ? 0xFFFFFFFFu
+                                        : ((u32{1} << host_bits) - 1)));
+    return p.value | host;
+  };
+  auto draw_port = [&](const PortRange& r) {
+    return static_cast<u16>(rng.between(r.lo, r.hi));
+  };
+
+  h.src_ip = draw_ip(rule.src_ip);
+  h.dst_ip = draw_ip(rule.dst_ip);
+  h.src_port = draw_port(rule.src_port);
+  h.dst_port = draw_port(rule.dst_port);
+  if (rule.proto.wildcard) {
+    static constexpr u8 kCommon[] = {net::kProtoTcp, net::kProtoUdp,
+                                     net::kProtoIcmp};
+    h.protocol = kCommon[rng.below(std::size(kCommon))];
+  } else {
+    h.protocol = rule.proto.value;
+  }
+  return h;
+}
+
+net::Trace TraceGenerator::generate() {
+  net::Trace trace;
+  for (usize i = 0; i < opts_.headers; ++i) {
+    net::TraceEntry e;
+    if (rng_.chance(opts_.random_fraction)) {
+      e.header.src_ip = static_cast<u32>(rng_.next());
+      e.header.dst_ip = static_cast<u32>(rng_.next());
+      e.header.src_port = static_cast<u16>(rng_.next());
+      e.header.dst_port = static_cast<u16>(rng_.next());
+      static constexpr u8 kCommon[] = {net::kProtoTcp, net::kProtoUdp,
+                                       net::kProtoIcmp, 47, 50};
+      e.header.protocol = kCommon[rng_.below(std::size(kCommon))];
+    } else {
+      // Skewed rule popularity: u^(1+skew) concentrates on low indices
+      // (high-priority rules attract most traffic in real deployments).
+      double u = rng_.uniform();
+      double x = u;
+      for (double s = 0.0; s < opts_.rule_skew; s += 1.0) x *= u;
+      const usize idx = std::min(
+          static_cast<usize>(x * static_cast<double>(rules_.size())),
+          rules_.size() - 1);
+      const Rule& rule = rules_[idx];
+      e.header = header_for_rule(rule, rng_);
+      e.origin_rule = rule.id;
+    }
+    trace.add(e);
+  }
+  return trace;
+}
+
+}  // namespace pclass::ruleset

@@ -1,0 +1,44 @@
+/// \file trace_gen.hpp
+/// ClassBench `trace_generator`-style header-trace synthesis: headers are
+/// derived from rules (guaranteeing realistic match structure), with a
+/// skewed rule-popularity distribution (heavy flows) and an optional
+/// fraction of random non-derived headers (default-route traffic).
+#pragma once
+
+#include "common/random.hpp"
+#include "net/trace.hpp"
+#include "ruleset/rule_set.hpp"
+
+namespace pclass::ruleset {
+
+/// Trace synthesis parameters.
+struct TraceOptions {
+  usize headers = 10'000;
+  /// Popularity skew across rules (0 = uniform; higher = heavier head).
+  double rule_skew = 1.0;
+  /// Fraction of headers drawn uniformly at random instead of from a rule
+  /// (these may or may not match anything — miss traffic).
+  double random_fraction = 0.05;
+  u64 seed = 42;
+};
+
+/// Deterministic trace generator for a rule set.
+class TraceGenerator {
+ public:
+  TraceGenerator(const RuleSet& rules, TraceOptions opts = {});
+
+  /// Generate the trace. Each rule-derived entry records its origin rule.
+  [[nodiscard]] net::Trace generate();
+
+  /// Synthesize one header matching \p rule (host bits, in-range ports and
+  /// a concrete protocol are drawn at random). Exposed for tests.
+  [[nodiscard]] static net::FiveTuple header_for_rule(const Rule& rule,
+                                                      Rng& rng);
+
+ private:
+  const RuleSet& rules_;
+  TraceOptions opts_;
+  Rng rng_;
+};
+
+}  // namespace pclass::ruleset

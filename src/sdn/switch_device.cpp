@@ -1,0 +1,107 @@
+#include "sdn/switch_device.hpp"
+
+namespace pclass::sdn {
+
+SwitchDevice::SwitchDevice(std::string name, core::ClassifierConfig cfg,
+                           u32 flow_cache_depth)
+    : name_(std::move(name)), classifier_(cfg) {
+  if (flow_cache_depth > 0) {
+    cache_ = std::make_unique<core::FlowCache>(name_ + ".flow_cache",
+                                               flow_cache_depth);
+  }
+}
+
+hw::UpdateStats SwitchDevice::handle(const Message& msg) {
+  hw::UpdateStats cost;
+  if (const auto* fm = std::get_if<FlowMod>(&msg)) {
+    if (fm->command == FlowMod::Command::kAdd) {
+      ruleset::Rule r = fm->match;
+      r.id = fm->cookie;
+      r.action = ruleset::Action{fm->action.encode()};
+      cost = classifier_.add_rule(r);
+      flows_.emplace(r.id, FlowStats{});
+    } else if (fm->command == FlowMod::Command::kModify) {
+      cost = classifier_.modify_rule(fm->cookie,
+                                     ruleset::Action{fm->action.encode()});
+    } else {
+      cost = classifier_.remove_rule(fm->cookie);
+      flows_.erase(fm->cookie);
+    }
+  } else if (const auto* cm = std::get_if<ConfigMod>(&msg)) {
+    cost = classifier_.set_ip_algorithm(cm->use_bst
+                                            ? core::IpAlgorithm::kBst
+                                            : core::IpAlgorithm::kMbt);
+  }
+  ++stats_.flow_mods_applied;
+  stats_.update_cycles += cost.cycles;
+  if (cache_) {
+    // Any table change can invalidate any cached verdict (conservative
+    // single-cycle flush; per-flow invalidation would need reverse maps).
+    cache_->invalidate_all();
+  }
+  return cost;
+}
+
+ForwardResult SwitchDevice::process_packet(std::span<const u8> bytes) {
+  const std::optional<net::FiveTuple> t = net::parse_five_tuple(bytes);
+  if (!t) {
+    ++stats_.packets_in;
+    ++stats_.parse_errors;
+    ++stats_.packets_dropped;
+    return ForwardResult{};
+  }
+  return process_header(*t, bytes.size());
+}
+
+ForwardResult SwitchDevice::process_header(const net::FiveTuple& header,
+                                           usize bytes) {
+  ++stats_.packets_in;
+  std::optional<core::RuleEntry> verdict;
+  u64 cycles = 0;
+  bool resolved = false;
+  if (cache_) {
+    hw::CycleRecorder rec;
+    if (const auto cached = cache_->lookup(header, &rec)) {
+      verdict = *cached;
+      cycles = rec.cycles();
+      resolved = true;
+    }
+  }
+  if (!resolved) {
+    const core::ClassifyResult res = classifier_.classify(header);
+    verdict = res.match;
+    cycles = res.cycles;
+    if (cache_) {
+      cache_->fill(header, verdict);
+    }
+  }
+  core::ClassifyResult res;
+  res.match = verdict;
+  res.cycles = cycles;
+  ForwardResult out;
+  out.lookup_cycles = res.cycles;
+  if (!res.match) {
+    ++stats_.packets_dropped;  // table miss: default drop
+    return out;
+  }
+  ++stats_.packets_matched;
+  out.rule = res.match->rule;
+  out.action = ActionSpec::decode(res.match->action);
+  if (out.action.kind == ActionSpec::Kind::kDrop) {
+    ++stats_.packets_dropped;
+  }
+  auto it = flows_.find(res.match->rule);
+  if (it != flows_.end()) {
+    ++it->second.packets;
+    it->second.bytes += bytes;
+  }
+  return out;
+}
+
+std::optional<FlowStats> SwitchDevice::flow_stats(RuleId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace pclass::sdn

@@ -1,0 +1,86 @@
+/// \file switch_device.hpp
+/// The infrastructure-plane network device: owns the configurable
+/// classifier, applies southbound messages, and runs packets through
+/// parse -> classify -> action with per-flow statistics (the flow table
+/// counters every OpenFlow switch keeps).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/flow_cache.hpp"
+#include "sdn/flow_mod.hpp"
+
+namespace pclass::sdn {
+
+/// Per-flow statistics (flow table counters).
+struct FlowStats {
+  u64 packets = 0;
+  u64 bytes = 0;
+};
+
+/// What happened to one forwarded packet.
+struct ForwardResult {
+  ActionSpec action = ActionSpec::drop();  ///< drop when no rule matched
+  std::optional<RuleId> rule;
+  u64 lookup_cycles = 0;
+};
+
+/// Aggregate data-plane counters.
+struct SwitchStats {
+  u64 packets_in = 0;
+  u64 packets_matched = 0;
+  u64 packets_dropped = 0;   ///< table miss or explicit drop action
+  u64 parse_errors = 0;
+  u64 flow_mods_applied = 0;
+  u64 update_cycles = 0;     ///< cumulative controller-update bus cycles
+};
+
+/// An SDN switch with one classification-backed flow table and an
+/// optional exact-match flow cache on the fast path (the paper's "only
+/// the first packet header of a flow" premise).
+class SwitchDevice {
+ public:
+  /// \param flow_cache_depth  cache lines for the exact-match fast path;
+  ///                          0 disables the cache.
+  explicit SwitchDevice(std::string name, core::ClassifierConfig cfg = {},
+                        u32 flow_cache_depth = 0);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Apply one southbound message. Returns the measured update cost.
+  hw::UpdateStats handle(const Message& msg);
+
+  /// Data plane: raw packet in, action out.
+  ForwardResult process_packet(std::span<const u8> bytes);
+
+  /// Data plane fast path for pre-parsed headers (testing/benching).
+  ForwardResult process_header(const net::FiveTuple& header, usize bytes);
+
+  [[nodiscard]] const SwitchStats& stats() const { return stats_; }
+  [[nodiscard]] const core::ConfigurableClassifier& classifier() const {
+    return classifier_;
+  }
+  [[nodiscard]] core::ConfigurableClassifier& classifier() {
+    return classifier_;
+  }
+  [[nodiscard]] std::optional<FlowStats> flow_stats(RuleId id) const;
+  [[nodiscard]] usize flow_count() const { return flows_.size(); }
+
+  /// Flow-cache statistics (zero-valued when the cache is disabled).
+  [[nodiscard]] core::FlowCacheStats flow_cache_stats() const {
+    return cache_ ? cache_->stats() : core::FlowCacheStats{};
+  }
+
+ private:
+  std::string name_;
+  core::ConfigurableClassifier classifier_;
+  std::unique_ptr<core::FlowCache> cache_;
+  std::map<RuleId, FlowStats> flows_;
+  SwitchStats stats_;
+};
+
+}  // namespace pclass::sdn

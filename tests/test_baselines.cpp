@@ -1,0 +1,207 @@
+// Baseline classifiers (Table I comparators): every one must agree with
+// the linear-search oracle; structural properties are spot-checked.
+#include <gtest/gtest.h>
+
+#include "baseline/dcfl.hpp"
+#include "baseline/hypercuts.hpp"
+#include "baseline/linear_search.hpp"
+#include "baseline/option_trie.hpp"
+#include "baseline/rfc.hpp"
+#include "baseline/sw_trie.hpp"
+#include "common/random.hpp"
+#include "ruleset/generator.hpp"
+#include "ruleset/trace_gen.hpp"
+
+using namespace pclass;
+using namespace pclass::baseline;
+using pclass::ruleset::FilterType;
+using pclass::ruleset::RuleSet;
+
+namespace {
+
+usize mismatches_vs_oracle(const Baseline& b, const RuleSet& rs,
+                           usize headers, u64 seed = 5) {
+  LinearSearch oracle(rs);
+  ruleset::TraceGenerator tg(
+      rs, {.headers = headers, .random_fraction = 0.15, .seed = seed});
+  const auto trace = tg.generate();
+  usize mism = 0;
+  for (const auto& e : trace) {
+    const auto* got = b.classify(e.header, nullptr);
+    const auto* want = oracle.classify(e.header, nullptr);
+    if ((got == nullptr) != (want == nullptr) ||
+        (got != nullptr && got->id != want->id)) {
+      ++mism;
+    }
+  }
+  return mism;
+}
+
+}  // namespace
+
+class BaselineEquivalence
+    : public ::testing::TestWithParam<std::tuple<FilterType, const char*>> {
+ protected:
+  RuleSet rules() const {
+    return ruleset::make_classbench_like(std::get<0>(GetParam()), 1000);
+  }
+  std::unique_ptr<Baseline> make(const RuleSet& rs) const {
+    const std::string which = std::get<1>(GetParam());
+    if (which == "hypercuts") return std::make_unique<HyperCuts>(rs);
+    if (which == "rfc") return std::make_unique<Rfc>(rs);
+    if (which == "dcfl") return std::make_unique<Dcfl>(rs);
+    if (which == "option1") {
+      return std::make_unique<OptionTrie>(rs, OptionConfig::option1());
+    }
+    return std::make_unique<OptionTrie>(rs, OptionConfig::option2());
+  }
+};
+
+TEST_P(BaselineEquivalence, MatchesOracle) {
+  const RuleSet rs = rules();
+  const auto b = make(rs);
+  EXPECT_EQ(mismatches_vs_oracle(*b, rs, 800), 0u) << b->name();
+  EXPECT_GT(b->memory_bits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BaselineEquivalence,
+    ::testing::Combine(::testing::Values(FilterType::kAcl, FilterType::kFw,
+                                         FilterType::kIpc),
+                       ::testing::Values("hypercuts", "rfc", "dcfl",
+                                         "option1", "option2")));
+
+TEST(LinearSearchTest, PriorityOrderRespected) {
+  RuleSet rs;
+  ruleset::Rule broad;  // matches everything
+  ruleset::Rule narrow;
+  narrow.dst_port = ruleset::PortRange::exact(80);
+  rs.add(narrow);  // priority 0 (higher)
+  rs.add(broad);   // priority 1
+  LinearSearch ls(rs);
+  const auto* hit = ls.classify({1, 2, 3, 80, 6}, nullptr);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id.value, 0u);
+  LookupCost cost;
+  (void)ls.classify({1, 2, 3, 81, 6}, &cost);
+  EXPECT_EQ(cost.memory_accesses, 2u);  // scanned both
+}
+
+TEST(HyperCutsTest, TreeIsBuiltAndBounded) {
+  const RuleSet rs = ruleset::make_classbench_like(FilterType::kAcl, 1000);
+  HyperCuts hc(rs);
+  EXPECT_GT(hc.node_count(), 1u);
+  EXPECT_LE(hc.depth(), 32u);
+  LookupCost cost;
+  (void)hc.classify({1, 2, 3, 4, 6}, &cost);
+  EXPECT_GT(cost.memory_accesses, 0u);
+}
+
+TEST(RfcTest, FixedAccessCount) {
+  const RuleSet rs = ruleset::make_classbench_like(FilterType::kFw, 1000);
+  Rfc rfc(rs);
+  LookupCost cost;
+  (void)rfc.classify({1, 2, 3, 4, 6}, &cost);
+  EXPECT_EQ(cost.memory_accesses, Rfc::kAccessesPerLookup);
+}
+
+TEST(RfcTest, MemoryDominatesDecomposition) {
+  // The RFC memory explosion relative to label decomposition (Table I's
+  // central contrast: RFC 31.48 Mb vs DCFL 22.54 Mb vs tries ~6 Mb; the
+  // precise ratios are set-dependent, the ordering is structural).
+  const RuleSet rs = ruleset::make_classbench_like(FilterType::kAcl, 1000);
+  Rfc rfc(rs);
+  Dcfl dcfl(rs);
+  HyperCuts hc(rs);
+  EXPECT_GT(rfc.memory_bits(), dcfl.memory_bits());
+  EXPECT_GT(rfc.memory_bits(), hc.memory_bits());
+}
+
+TEST(DcflTest, DecompositionAccessOrderings) {
+  // Table I orderings that are structural (and thus reproducible with
+  // our access metric): within the decomposition family, DCFL's staged
+  // aggregation beats the single-stage option combinations, and the
+  // 4-level IP trie of Option 2 beats Option 1's 5-level one. (The
+  // HyperCuts-vs-DCFL comparison depends on how parallel Bloom probes
+  // are counted and is discussed in EXPERIMENTS.md, not asserted here.)
+  const RuleSet rs = ruleset::make_classbench_like(FilterType::kAcl, 1000);
+  Dcfl dcfl(rs);
+  OptionTrie o1(rs, OptionConfig::option1());
+  OptionTrie o2(rs, OptionConfig::option2());
+  ruleset::TraceGenerator tg(rs, {.headers = 500, .seed = 5});
+  const auto trace = tg.generate();
+  LookupCost cd, c1, c2;
+  for (const auto& e : trace) {
+    (void)dcfl.classify(e.header, &cd);
+    (void)o1.classify(e.header, &c1);
+    (void)o2.classify(e.header, &c2);
+  }
+  EXPECT_LT(cd.memory_accesses, c1.memory_accesses);
+  EXPECT_LT(cd.memory_accesses, c2.memory_accesses);
+  EXPECT_LE(c2.memory_accesses, c1.memory_accesses);  // Option 2 wins
+}
+
+TEST(SwTrieTest, CollectsCoveringItems) {
+  SwTrie t({8, 8}, 16);
+  t.insert(0xAB00, 8, 1);
+  t.insert(0xABCD, 16, 2);
+  t.insert(0x0000, 0, 3);
+  std::vector<u16> out;
+  u64 acc = 0;
+  t.lookup(0xABCD, out, acc);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<u16>{1, 2, 3}));
+  EXPECT_GT(acc, 0u);
+}
+
+TEST(SwTrieTest, Validation) {
+  EXPECT_THROW(SwTrie({8, 8}, 17), ConfigError);
+  EXPECT_THROW(SwTrie({8}, 16), ConfigError);
+  SwTrie t({8, 8}, 16);
+  EXPECT_THROW(t.insert(0, 17, 1), ConfigError);
+}
+
+TEST(RangeToPrefixes, ExhaustiveSmallDomain) {
+  // Property: expansion covers exactly [lo, hi] for every range in a
+  // 6-bit domain.
+  for (u32 lo = 0; lo < 64; ++lo) {
+    for (u32 hi = lo; hi < 64; ++hi) {
+      const auto prefixes = range_to_prefixes(lo, hi, 6);
+      std::vector<bool> covered(64, false);
+      for (const auto& [value, len] : prefixes) {
+        const u32 span = u32{1} << (6 - len);
+        for (u32 v = value; v < value + span; ++v) {
+          EXPECT_FALSE(covered[v]) << "overlap at " << v;
+          covered[v] = true;
+        }
+      }
+      for (u32 v = 0; v < 64; ++v) {
+        EXPECT_EQ(covered[v], v >= lo && v <= hi)
+            << "lo=" << lo << " hi=" << hi << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(RangeToPrefixes, MinimalityKnownCases) {
+  // [1, 14] in 4 bits is the classic worst case: 6 prefixes.
+  EXPECT_EQ(range_to_prefixes(1, 14, 4).size(), 6u);
+  EXPECT_EQ(range_to_prefixes(0, 15, 4).size(), 1u);  // whole domain
+  EXPECT_EQ(range_to_prefixes(8, 8, 4).size(), 1u);   // exact
+}
+
+TEST(OptionTries, BothOptionsShareSemanticsDifferInCost) {
+  const RuleSet rs = ruleset::make_classbench_like(FilterType::kAcl, 1000);
+  OptionTrie o1(rs, OptionConfig::option1());
+  OptionTrie o2(rs, OptionConfig::option2());
+  ruleset::TraceGenerator tg(rs, {.headers = 300, .seed = 9});
+  const auto trace = tg.generate();
+  LookupCost c1, c2;
+  for (const auto& e : trace) {
+    const auto* a = o1.classify(e.header, &c1);
+    const auto* b = o2.classify(e.header, &c2);
+    EXPECT_EQ(a == nullptr, b == nullptr);
+    if (a && b) EXPECT_EQ(a->id, b->id);
+  }
+  EXPECT_NE(c1.memory_accesses, c2.memory_accesses);
+}

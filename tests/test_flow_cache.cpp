@@ -1,0 +1,153 @@
+// Flow-cache fast path: exact-match semantics, fill/invalidate policy,
+// and end-to-end correctness under churn (a cached verdict must never
+// outlive a rule change).
+#include <gtest/gtest.h>
+
+#include "baseline/linear_search.hpp"
+#include "core/flow_cache.hpp"
+#include "ruleset/generator.hpp"
+#include "ruleset/trace_gen.hpp"
+#include "sdn/switch_device.hpp"
+
+using namespace pclass;
+using namespace pclass::core;
+
+namespace {
+
+net::FiveTuple tuple(u32 a, u16 p) {
+  return {a, a ^ 0xDEADBEEF, 1000, p, net::kProtoTcp};
+}
+
+}  // namespace
+
+TEST(FlowCache, MissThenHit) {
+  FlowCache c("c", 64);
+  hw::CycleRecorder rec;
+  EXPECT_FALSE(c.lookup(tuple(1, 80), &rec).has_value());
+  c.fill(tuple(1, 80), RuleEntry{RuleId{7}, 3, 42});
+  const auto hit = c.lookup(tuple(1, 80), &rec);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ((*hit)->rule.value, 7u);
+  EXPECT_EQ((*hit)->action, 42u);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(FlowCache, CachesNegativeVerdicts) {
+  FlowCache c("c", 64);
+  c.fill(tuple(2, 81), std::nullopt);  // flow with no matching rule
+  const auto hit = c.lookup(tuple(2, 81), nullptr);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->has_value());  // cached "drop"
+}
+
+TEST(FlowCache, LookupCostIsTwoCycles) {
+  FlowCache c("c", 64);
+  c.fill(tuple(3, 82), RuleEntry{RuleId{1}, 0, 0});
+  hw::CycleRecorder rec;
+  (void)c.lookup(tuple(3, 82), &rec);
+  EXPECT_EQ(rec.cycles(), 2u);           // hash + line read
+  EXPECT_EQ(rec.memory_accesses(), 1u);
+}
+
+TEST(FlowCache, DirectMappedEviction) {
+  FlowCache c("c", 1);  // every tuple maps to the same line
+  c.fill(tuple(1, 80), RuleEntry{RuleId{1}, 0, 0});
+  c.fill(tuple(2, 81), RuleEntry{RuleId{2}, 0, 0});
+  EXPECT_FALSE(c.lookup(tuple(1, 80), nullptr).has_value());  // evicted
+  EXPECT_TRUE(c.lookup(tuple(2, 81), nullptr).has_value());
+}
+
+TEST(FlowCache, InvalidateAllFlushes) {
+  FlowCache c("c", 64);
+  c.fill(tuple(1, 80), RuleEntry{RuleId{1}, 0, 0});
+  c.invalidate_all();
+  EXPECT_FALSE(c.lookup(tuple(1, 80), nullptr).has_value());
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(FlowCacheSwitch, SteadyStateHitsAndCorrectness) {
+  const auto rules =
+      ruleset::make_classbench_like(ruleset::FilterType::kAcl, 1000);
+  core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(1000);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;
+  sdn::SwitchDevice sw("s1", cfg, /*flow_cache_depth=*/8192);
+  for (const auto& r : rules) {
+    sdn::FlowMod fm;
+    fm.command = sdn::FlowMod::Command::kAdd;
+    fm.cookie = r.id;
+    fm.match = r;
+    fm.action = sdn::ActionSpec::decode(r.action.token);
+    sw.handle(fm);
+  }
+
+  // Replay each header twice: second pass must be cache hits with
+  // identical verdicts.
+  ruleset::TraceGenerator tg(rules, {.headers = 1000, .seed = 5});
+  const auto trace = tg.generate();
+  baseline::LinearSearch oracle(rules);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& e : trace) {
+      const auto res = sw.process_header(e.header, 64);
+      const auto* want = oracle.classify(e.header, nullptr);
+      if (want == nullptr) {
+        EXPECT_FALSE(res.rule.has_value());
+      } else {
+        ASSERT_TRUE(res.rule.has_value());
+        EXPECT_EQ(res.rule->value, want->id.value);
+      }
+    }
+  }
+  const auto cs = sw.flow_cache_stats();
+  // Second pass is all hits modulo direct-mapped conflicts; first pass
+  // already hits on repeated headers. Deterministic measurement ~0.43.
+  EXPECT_GT(cs.hit_rate(), 0.40);
+  EXPECT_GT(cs.fills, 0u);
+}
+
+TEST(FlowCacheSwitch, RuleChangeInvalidatesCachedVerdicts) {
+  core::ClassifierConfig cfg;
+  sdn::SwitchDevice sw("s1", cfg, 1024);
+  ruleset::Rule allow;
+  allow.id = RuleId{1};
+  allow.priority = 1;
+  allow.dst_port = ruleset::PortRange::exact(80);
+  allow.proto = ruleset::ProtoMatch::exact(net::kProtoTcp);
+  sdn::FlowMod add;
+  add.command = sdn::FlowMod::Command::kAdd;
+  add.cookie = allow.id;
+  add.match = allow;
+  add.action = sdn::ActionSpec::output(4);
+  sw.handle(add);
+
+  const net::FiveTuple h = tuple(9, 80);
+  EXPECT_EQ(sw.process_header(h, 64).action.arg, 4u);
+  EXPECT_EQ(sw.process_header(h, 64).action.arg, 4u);  // cached
+
+  // A higher-priority drop rule arrives; the cached "output 4" verdict
+  // must not survive.
+  ruleset::Rule deny;
+  deny.id = RuleId{0};
+  deny.priority = 0;
+  deny.dst_port = ruleset::PortRange::exact(80);
+  deny.src_port = ruleset::PortRange::make(0, 32767);
+  deny.proto = ruleset::ProtoMatch::exact(net::kProtoTcp);
+  sdn::FlowMod add2;
+  add2.command = sdn::FlowMod::Command::kAdd;
+  add2.cookie = deny.id;
+  add2.match = deny;
+  add2.action = sdn::ActionSpec::drop();
+  sw.handle(add2);
+
+  const auto res = sw.process_header(h, 64);
+  ASSERT_TRUE(res.rule.has_value());
+  EXPECT_EQ(res.rule->value, 0u);  // the deny rule, not the stale cache
+  EXPECT_EQ(res.action.kind, sdn::ActionSpec::Kind::kDrop);
+}
+
+TEST(FlowCacheSwitch, DisabledCacheIsTransparent) {
+  sdn::SwitchDevice sw("s1", core::ClassifierConfig{}, 0);
+  EXPECT_EQ(sw.flow_cache_stats().hits, 0u);
+  EXPECT_EQ(sw.flow_cache_stats().fills, 0u);
+}

@@ -1,0 +1,135 @@
+// Unit tests for src/net: wire-format packet synthesis/parsing, the
+// internet checksum and trace I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "net/packet.hpp"
+#include "net/trace.hpp"
+
+using namespace pclass;
+using namespace pclass::net;
+
+namespace {
+FiveTuple tcp_tuple() {
+  return {ipv4(10, 0, 0, 1), ipv4(192, 168, 1, 2), 12345, 80, kProtoTcp};
+}
+}  // namespace
+
+TEST(Checksum, Rfc1071Example) {
+  // Canonical example from RFC 1071 §3.
+  const u8 data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), static_cast<u16>(~0xddf2 & 0xFFFF));
+}
+
+TEST(Checksum, OddLength) {
+  const u8 data[] = {0xFF};
+  EXPECT_EQ(internet_checksum(data), static_cast<u16>(~0xFF00 & 0xFFFF));
+}
+
+TEST(Packet, TcpRoundTrip) {
+  const FiveTuple t = tcp_tuple();
+  const Packet p = make_packet(t, 10);
+  EXPECT_EQ(p.size(), kIpv4HeaderBytes + kTcpHeaderBytes + 10);
+  const auto parsed = parse_five_tuple(p.bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(Packet, UdpRoundTrip) {
+  FiveTuple t = tcp_tuple();
+  t.protocol = kProtoUdp;
+  const Packet p = make_packet(t, 4);
+  EXPECT_EQ(p.size(), kIpv4HeaderBytes + kUdpHeaderBytes + 4);
+  const auto parsed = parse_five_tuple(p.bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(Packet, IcmpHasZeroPorts) {
+  FiveTuple t = tcp_tuple();
+  t.protocol = kProtoIcmp;
+  const Packet p = make_packet(t);
+  const auto parsed = parse_five_tuple(p.bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 0u);  // ICMP carries no L4 ports
+  EXPECT_EQ(parsed->dst_port, 0u);
+  EXPECT_EQ(parsed->protocol, kProtoIcmp);
+}
+
+TEST(Packet, HeaderChecksumIsValid) {
+  const Packet p = make_packet(tcp_tuple());
+  // Checksum over the IPv4 header including the checksum field is 0.
+  const u16 sum = internet_checksum(
+      std::span<const u8>{p.bytes.data(), kIpv4HeaderBytes});
+  EXPECT_EQ(sum, 0u);
+}
+
+TEST(Packet, TruncatedReturnsNullopt) {
+  const Packet p = make_packet(tcp_tuple());
+  for (usize len : {usize{0}, usize{10}, usize{19}}) {
+    EXPECT_FALSE(
+        parse_five_tuple(std::span<const u8>{p.bytes.data(), len}));
+  }
+  // IPv4 header complete but L4 ports truncated.
+  EXPECT_FALSE(parse_five_tuple(
+      std::span<const u8>{p.bytes.data(), kIpv4HeaderBytes + 2}));
+}
+
+TEST(Packet, NonIpv4Rejected) {
+  Packet p = make_packet(tcp_tuple());
+  p.bytes[0] = 0x65;  // version 6
+  EXPECT_FALSE(parse_five_tuple(p.bytes));
+}
+
+TEST(Packet, IhlRespected) {
+  Packet p = make_packet(tcp_tuple());
+  p.bytes[0] = 0x4F;  // IHL = 60 bytes but packet is shorter
+  EXPECT_FALSE(parse_five_tuple(p.bytes));
+}
+
+TEST(FiveTupleTest, DimensionKeys) {
+  const FiveTuple t = tcp_tuple();
+  EXPECT_EQ(dimension_key(t, Dimension::kSrcIpHi), 0x0A00u);
+  EXPECT_EQ(dimension_key(t, Dimension::kSrcIpLo), 0x0001u);
+  EXPECT_EQ(dimension_key(t, Dimension::kDstIpHi), 0xC0A8u);
+  EXPECT_EQ(dimension_key(t, Dimension::kDstIpLo), 0x0102u);
+  EXPECT_EQ(dimension_key(t, Dimension::kSrcPort), 12345u);
+  EXPECT_EQ(dimension_key(t, Dimension::kDstPort), 80u);
+  EXPECT_EQ(dimension_key(t, Dimension::kProtocol), u32{kProtoTcp});
+}
+
+TEST(FiveTupleTest, Strings) {
+  EXPECT_EQ(ip_to_string(ipv4(1, 2, 3, 4)), "1.2.3.4");
+  const std::string s = to_string(tcp_tuple());
+  EXPECT_NE(s.find("10.0.0.1:12345"), std::string::npos);
+  EXPECT_NE(s.find("proto 6"), std::string::npos);
+}
+
+TEST(TraceIo, RoundTrip) {
+  Trace t;
+  t.add({tcp_tuple(), RuleId{3}});
+  t.add({FiveTuple{1, 2, 3, 4, 5}, std::nullopt});
+  std::stringstream ss;
+  t.write(ss);
+  const Trace back = Trace::read(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].header, tcp_tuple());
+  ASSERT_TRUE(back[0].origin_rule.has_value());
+  EXPECT_EQ(back[0].origin_rule->value, 3u);
+  EXPECT_FALSE(back[1].origin_rule.has_value());
+}
+
+TEST(TraceIo, SkipsCommentsAndBlanks) {
+  std::stringstream ss("# comment\n\n1 2 3 4 5\n");
+  const Trace t = Trace::read(ss);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceIo, RejectsMalformed) {
+  std::stringstream bad1("1 2 3\n");
+  EXPECT_THROW(Trace::read(bad1), ParseError);
+  std::stringstream bad2("1 2 3 4 999\n");  // proto > 255
+  EXPECT_THROW(Trace::read(bad2), ParseError);
+}

@@ -1,0 +1,179 @@
+// Unit tests for the port register file (Table IV semantics) and the
+// protocol LUT.
+#include <gtest/gtest.h>
+
+#include "alg/port_registers.hpp"
+#include "alg/protocol_lut.hpp"
+#include "common/error.hpp"
+
+using namespace pclass;
+using namespace pclass::alg;
+using pclass::ruleset::PortRange;
+using pclass::ruleset::ProtoMatch;
+
+namespace {
+struct PortRig {
+  PortRegisterFile regs{"p", {}};
+  hw::CommandLog log;
+  void add(u16 lo, u16 hi, u16 label) {
+    regs.insert(PortRange::make(lo, hi), Label{label}, log);
+  }
+  std::vector<u16> find(u16 port) {
+    std::vector<u16> out;
+    hw::CycleRecorder rec;
+    for (Label l : regs.lookup(port, &rec)) out.push_back(l.value);
+    return out;
+  }
+};
+}  // namespace
+
+TEST(PortRegisters, TableIvExample) {
+  // Table IV: A = [0,65535] (range), B = 7812 exact, C = [7810,7820].
+  // "for an input packet with a destination port field equal to 7812,
+  //  the labels of Port lookup will be ordered as B, C and A."
+  PortRig rig;
+  rig.add(0, 65535, 0);      // A
+  rig.add(7812, 7812, 1);    // B
+  rig.add(7810, 7820, 2);    // C
+  EXPECT_EQ(rig.find(7812), (std::vector<u16>{1, 2, 0}));  // B, C, A
+  EXPECT_EQ(rig.find(7815), (std::vector<u16>{2, 0}));     // C, A
+  EXPECT_EQ(rig.find(80), std::vector<u16>{0});            // A only
+}
+
+TEST(PortRegisters, ExactBeforeAnyRange) {
+  PortRig rig;
+  rig.add(100, 100, 5);
+  rig.add(99, 101, 6);  // tighter than anything except the exact
+  EXPECT_EQ(rig.find(100), (std::vector<u16>{5, 6}));
+}
+
+TEST(PortRegisters, TightnessOrderingAmongRanges) {
+  PortRig rig;
+  rig.add(0, 1000, 1);
+  rig.add(400, 600, 2);
+  rig.add(450, 550, 3);
+  EXPECT_EQ(rig.find(500), (std::vector<u16>{3, 2, 1}));
+}
+
+TEST(PortRegisters, LookupCostIsFixed) {
+  PortRig rig;
+  for (u16 i = 0; i < 50; ++i) {
+    rig.add(static_cast<u16>(i * 100), static_cast<u16>(i * 100 + 50), i);
+  }
+  hw::CycleRecorder rec;
+  (void)rig.regs.lookup(123, &rec);
+  EXPECT_EQ(rec.cycles(), 2u);           // §V.B: two clock cycles
+  EXPECT_EQ(rec.memory_accesses(), 0u);  // registers, not memory
+}
+
+TEST(PortRegisters, RemoveFreesSlot) {
+  PortRig rig;
+  rig.add(80, 80, 1);
+  rig.regs.remove(PortRange::exact(80), rig.log);
+  EXPECT_TRUE(rig.find(80).empty());
+  // Slot reused.
+  rig.add(443, 443, 2);
+  EXPECT_EQ(rig.regs.registers().used_count(), 1u);
+}
+
+TEST(PortRegisters, DuplicateAndUnknownThrow) {
+  PortRig rig;
+  rig.add(80, 80, 1);
+  EXPECT_THROW(rig.regs.insert(PortRange::exact(80), Label{2}, rig.log),
+               InternalError);
+  EXPECT_THROW(rig.regs.remove(PortRange::exact(81), rig.log),
+               InternalError);
+}
+
+TEST(PortRegisters, CapacityError) {
+  PortRegistersConfig small;
+  small.count = 2;
+  PortRegisterFile regs("p", small);
+  hw::CommandLog log;
+  regs.insert(PortRange::exact(1), Label{0}, log);
+  regs.insert(PortRange::exact(2), Label{1}, log);
+  EXPECT_THROW(regs.insert(PortRange::exact(3), Label{2}, log),
+               CapacityError);
+}
+
+TEST(PortRegisters, ClearResets) {
+  PortRig rig;
+  rig.add(80, 80, 1);
+  rig.add(0, 65535, 2);
+  rig.regs.clear(rig.log);
+  EXPECT_TRUE(rig.find(80).empty());
+  EXPECT_EQ(rig.regs.range_count(), 0u);
+}
+
+TEST(PortRegisters, WildcardAlwaysLast) {
+  PortRig rig;
+  rig.add(0, 65535, 9);
+  rig.add(1024, 65535, 3);
+  rig.add(8080, 8080, 4);
+  EXPECT_EQ(rig.find(8080), (std::vector<u16>{4, 3, 9}));
+}
+
+// ---- Protocol LUT ----
+
+namespace {
+struct ProtoRig {
+  ProtocolLut lut{"pr"};
+  hw::CommandLog log;
+  std::vector<u16> find(u8 proto) {
+    std::vector<u16> out;
+    hw::CycleRecorder rec;
+    for (Label l : lut.lookup(proto, &rec)) out.push_back(l.value);
+    return out;
+  }
+};
+}  // namespace
+
+TEST(ProtocolLut, ExactThenWildcardOrder) {
+  ProtoRig rig;
+  rig.lut.insert(ProtoMatch::exact(6), Label{1}, rig.log);
+  rig.lut.insert(ProtoMatch::any(), Label{2}, rig.log);
+  // §III.C.1: exact label first.
+  EXPECT_EQ(rig.find(6), (std::vector<u16>{1, 2}));
+  EXPECT_EQ(rig.find(17), std::vector<u16>{2});  // wildcard only
+}
+
+TEST(ProtocolLut, SingleAccessLookup) {
+  ProtoRig rig;
+  rig.lut.insert(ProtoMatch::exact(6), Label{0}, rig.log);
+  hw::CycleRecorder rec;
+  (void)rig.lut.lookup(6, &rec);
+  EXPECT_EQ(rec.memory_accesses(), 1u);  // §V.B: single clock cycle
+  EXPECT_EQ(rec.cycles(), 1u);
+}
+
+TEST(ProtocolLut, WildcardCostsOneRegisterWrite) {
+  ProtoRig rig;
+  rig.lut.insert(ProtoMatch::any(), Label{3}, rig.log);
+  EXPECT_EQ(rig.log.size(), 1u);  // not 256 table writes
+  EXPECT_EQ(rig.find(200), std::vector<u16>{3});
+}
+
+TEST(ProtocolLut, RemoveAndErrors) {
+  ProtoRig rig;
+  rig.lut.insert(ProtoMatch::exact(17), Label{1}, rig.log);
+  EXPECT_THROW(rig.lut.insert(ProtoMatch::exact(17), Label{2}, rig.log),
+               InternalError);
+  rig.lut.remove(ProtoMatch::exact(17), rig.log);
+  EXPECT_TRUE(rig.find(17).empty());
+  EXPECT_THROW(rig.lut.remove(ProtoMatch::exact(17), rig.log),
+               InternalError);
+  EXPECT_THROW(rig.lut.remove(ProtoMatch::any(), rig.log), InternalError);
+}
+
+TEST(ProtocolLut, ClearResetsBoth) {
+  ProtoRig rig;
+  rig.lut.insert(ProtoMatch::exact(6), Label{1}, rig.log);
+  rig.lut.insert(ProtoMatch::any(), Label{2}, rig.log);
+  rig.lut.clear(rig.log);
+  EXPECT_TRUE(rig.find(6).empty());
+}
+
+TEST(ProtocolLut, MissWithoutRules) {
+  ProtoRig rig;
+  EXPECT_TRUE(rig.find(6).empty());
+}

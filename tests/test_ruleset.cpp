@@ -1,0 +1,360 @@
+// Unit tests for src/ruleset: field-match semantics, the rule container,
+// ClassBench I/O, the calibrated generator (Tables II & III) and the
+// trace generator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ruleset/classbench.hpp"
+#include "ruleset/generator.hpp"
+#include "ruleset/rule_set.hpp"
+#include "ruleset/stats.hpp"
+#include "ruleset/trace_gen.hpp"
+
+using namespace pclass;
+using namespace pclass::ruleset;
+
+TEST(IpPrefixTest, NormalizesHostBits) {
+  const auto p = IpPrefix::make(ipv4(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.value, ipv4(10, 0, 0, 0));
+  EXPECT_TRUE(p.matches(ipv4(10, 255, 0, 1)));
+  EXPECT_FALSE(p.matches(ipv4(11, 0, 0, 0)));
+}
+
+TEST(IpPrefixTest, WildcardMatchesEverything) {
+  const IpPrefix p{};
+  EXPECT_TRUE(p.is_wildcard());
+  EXPECT_TRUE(p.matches(0));
+  EXPECT_TRUE(p.matches(~u32{0}));
+}
+
+TEST(IpPrefixTest, FullLengthIsExact) {
+  const auto p = IpPrefix::make(ipv4(1, 2, 3, 4), 32);
+  EXPECT_TRUE(p.matches(ipv4(1, 2, 3, 4)));
+  EXPECT_FALSE(p.matches(ipv4(1, 2, 3, 5)));
+}
+
+TEST(IpPrefixTest, LengthValidation) {
+  EXPECT_THROW((void)IpPrefix::make(0, 33), ConfigError);
+}
+
+TEST(IpPrefixTest, SegmentsShortPrefix) {
+  // /8 constrains only the high segment (by 8 bits).
+  const auto p = IpPrefix::make(ipv4(10, 0, 0, 0), 8);
+  EXPECT_EQ(p.hi_segment().length, 8u);
+  EXPECT_EQ(p.hi_segment().value, 0x0A00u);
+  EXPECT_TRUE(p.lo_segment().is_wildcard());
+}
+
+TEST(IpPrefixTest, SegmentsLongPrefix) {
+  // /24: high segment exact, low segment /8.
+  const auto p = IpPrefix::make(ipv4(192, 168, 7, 0), 24);
+  EXPECT_EQ(p.hi_segment().length, 16u);
+  EXPECT_EQ(p.hi_segment().value, 0xC0A8u);
+  EXPECT_EQ(p.lo_segment().length, 8u);
+  EXPECT_EQ(p.lo_segment().value, 0x0700u);
+}
+
+TEST(SegmentPrefixTest, MatchSemantics) {
+  const auto s = SegmentPrefix::make(0xAB00, 8);
+  EXPECT_TRUE(s.matches(0xABFF));
+  EXPECT_FALSE(s.matches(0xAC00));
+  EXPECT_TRUE(SegmentPrefix{}.matches(0x1234));
+  EXPECT_THROW((void)SegmentPrefix::make(0, 17), ConfigError);
+}
+
+TEST(PortRangeTest, Semantics) {
+  const auto r = PortRange::make(100, 200);
+  EXPECT_TRUE(r.contains(100));
+  EXPECT_TRUE(r.contains(200));
+  EXPECT_FALSE(r.contains(99));
+  EXPECT_FALSE(r.contains(201));
+  EXPECT_EQ(r.width(), 101u);
+  EXPECT_FALSE(r.is_exact());
+  EXPECT_TRUE(PortRange::exact(80).is_exact());
+  EXPECT_TRUE(PortRange::wildcard().is_wildcard());
+  EXPECT_EQ(PortRange::wildcard().width(), 65536u);
+  EXPECT_THROW((void)PortRange::make(5, 4), ConfigError);
+}
+
+TEST(ProtoMatchTest, Semantics) {
+  EXPECT_TRUE(ProtoMatch::any().matches(200));
+  EXPECT_TRUE(ProtoMatch::exact(6).matches(6));
+  EXPECT_FALSE(ProtoMatch::exact(6).matches(17));
+}
+
+TEST(RuleTest, FullMatch) {
+  Rule r;
+  r.src_ip = IpPrefix::make(ipv4(10, 0, 0, 0), 8);
+  r.dst_ip = IpPrefix::make(ipv4(192, 168, 0, 0), 16);
+  r.dst_port = PortRange::exact(80);
+  r.proto = ProtoMatch::exact(6);
+  const net::FiveTuple hit{ipv4(10, 1, 1, 1), ipv4(192, 168, 9, 9), 5555,
+                           80, 6};
+  EXPECT_TRUE(r.matches(hit));
+  net::FiveTuple miss = hit;
+  miss.dst_port = 81;
+  EXPECT_FALSE(r.matches(miss));
+  miss = hit;
+  miss.protocol = 17;
+  EXPECT_FALSE(r.matches(miss));
+  miss = hit;
+  miss.src_ip = ipv4(11, 0, 0, 0);
+  EXPECT_FALSE(r.matches(miss));
+}
+
+TEST(RuleTest, FingerprintMatchesEquality) {
+  Rule a, b;
+  a.src_ip = b.src_ip = IpPrefix::make(ipv4(1, 0, 0, 0), 8);
+  a.priority = 1;
+  b.priority = 99;  // fingerprint ignores priority
+  EXPECT_TRUE(a.same_match(b));
+  EXPECT_EQ(match_fingerprint(a), match_fingerprint(b));
+  b.dst_port = PortRange::exact(80);
+  EXPECT_FALSE(a.same_match(b));
+  EXPECT_NE(match_fingerprint(a), match_fingerprint(b));
+}
+
+TEST(RuleSetTest, AddAssignsIdsAndPriorities) {
+  RuleSet rs("t");
+  const Rule& r0 = rs.add(Rule{});
+  const Rule& r1 = rs.add(Rule{});
+  EXPECT_EQ(r0.id.value, 0u);
+  EXPECT_EQ(r1.id.value, 1u);
+  EXPECT_EQ(r1.priority, 1u);
+  EXPECT_TRUE(rs.find(RuleId{1}).has_value());
+  EXPECT_FALSE(rs.find(RuleId{7}).has_value());
+}
+
+TEST(RuleSetTest, DeduplicatedKeepsFirst) {
+  RuleSet rs;
+  Rule a;
+  a.dst_port = PortRange::exact(80);
+  a.action = Action{1};
+  Rule b = a;
+  b.action = Action{2};  // same match, different action
+  Rule c;
+  c.dst_port = PortRange::exact(443);
+  rs.add(a);
+  rs.add(b);
+  rs.add(c);
+  const RuleSet d = rs.deduplicated();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].action.token, 1u);  // first occurrence kept
+  EXPECT_EQ(d[1].dst_port.lo, 443u);
+  EXPECT_EQ(d[1].priority, 1u);  // priorities re-densified
+}
+
+TEST(ClassBench, RoundTrip) {
+  RuleSet rs("x");
+  Rule r;
+  r.src_ip = IpPrefix::make(ipv4(192, 168, 0, 0), 16);
+  r.dst_ip = IpPrefix::make(ipv4(10, 1, 2, 3), 32);
+  r.src_port = PortRange::wildcard();
+  r.dst_port = PortRange::exact(80);
+  r.proto = ProtoMatch::exact(6);
+  rs.add(r);
+  Rule w;  // all-wildcard rule
+  rs.add(w);
+
+  std::stringstream ss;
+  classbench::write(rs, ss);
+  const RuleSet back = classbench::read(ss, "x");
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].same_match(r));
+  EXPECT_TRUE(back[1].same_match(w));
+}
+
+TEST(ClassBench, ParsesCanonicalLine) {
+  std::stringstream ss(
+      "@192.168.0.0/16\t10.0.0.0/8\t0 : 65535\t80 : 80\t0x06/0xFF\t"
+      "0x0000/0x0200\n");
+  const RuleSet rs = classbench::read(ss);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].src_ip.length, 16u);
+  EXPECT_EQ(rs[0].dst_ip.value, ipv4(10, 0, 0, 0));
+  EXPECT_TRUE(rs[0].src_port.is_wildcard());
+  EXPECT_EQ(rs[0].dst_port.lo, 80u);
+  EXPECT_FALSE(rs[0].proto.wildcard);
+  EXPECT_EQ(rs[0].proto.value, 6u);
+}
+
+TEST(ClassBench, WildcardProtocol) {
+  std::stringstream ss("@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const RuleSet rs = classbench::read(ss);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs[0].proto.wildcard);
+}
+
+TEST(ClassBench, ErrorsCarryLineNumbers) {
+  std::stringstream bad("@1.2.3.4/32 5.6.7.8/32 0 : 65535 80 : 80 0x06/0xFF\n"
+                        "not-a-rule\n");
+  try {
+    (void)classbench::read(bad);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ClassBench, RejectsBadFields) {
+  std::stringstream s1("@300.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0xFF\n");
+  EXPECT_THROW((void)classbench::read(s1), ParseError);
+  std::stringstream s2("@1.0.0.0/8 0.0.0.0/0 9 : 5 0 : 65535 0x06/0xFF\n");
+  EXPECT_THROW((void)classbench::read(s2), ParseError);
+  std::stringstream s3("@1.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0x0F\n");
+  EXPECT_THROW((void)classbench::read(s3), ParseError);
+}
+
+// ---- Generator calibration: the paper's Tables II & III ----
+
+TEST(Generator, TableIIIRuleCounts) {
+  // Table III: actual rule counts of the nominal 1K/5K/10K filter sets.
+  const usize expect[3][3] = {{916, 4415, 9603},    // ACL
+                              {791, 4653, 9311},    // FW
+                              {938, 4460, 9037}};   // IPC
+  const FilterType types[3] = {FilterType::kAcl, FilterType::kFw,
+                               FilterType::kIpc};
+  const usize sizes[3] = {1000, 5000, 10000};
+  for (int t = 0; t < 3; ++t) {
+    for (int s = 0; s < 3; ++s) {
+      const RuleSet rs = make_classbench_like(types[t], sizes[s]);
+      EXPECT_EQ(rs.size(), expect[t][s])
+          << to_string(types[t]) << " " << sizes[s];
+    }
+  }
+}
+
+TEST(Generator, TableIIUniqueFieldCountsAcl) {
+  // Table II: unique rule fields of acl1 — reproduced exactly by pool
+  // calibration + round-robin coverage.
+  struct Row {
+    usize nominal, src, dst, sport, dport, proto;
+  };
+  const Row rows[] = {{1000, 103, 297, 1, 99, 3},
+                      {5000, 805, 640, 1, 108, 3},
+                      {10000, 4784, 733, 1, 108, 3}};
+  for (const Row& row : rows) {
+    const RuleSet rs = make_classbench_like(FilterType::kAcl, row.nominal);
+    const auto st = RuleSetStats::analyze(rs);
+    EXPECT_EQ(st.unique_src_ip, row.src) << row.nominal;
+    EXPECT_EQ(st.unique_dst_ip, row.dst) << row.nominal;
+    EXPECT_EQ(st.unique_src_port, row.sport) << row.nominal;
+    EXPECT_EQ(st.unique_dst_port, row.dport) << row.nominal;
+    EXPECT_EQ(st.unique_protocol, row.proto) << row.nominal;
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const RuleSet a = make_classbench_like(FilterType::kFw, 1000, 5);
+  const RuleSet b = make_classbench_like(FilterType::kFw, 1000, 5);
+  const RuleSet c = make_classbench_like(FilterType::kFw, 1000, 6);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_same = true;
+  for (usize i = 0; i < a.size(); ++i) {
+    all_same &= a[i].same_match(b[i]);
+  }
+  EXPECT_TRUE(all_same);
+  bool any_diff = a.size() != c.size();
+  for (usize i = 0; i < std::min(a.size(), c.size()) && !any_diff; ++i) {
+    any_diff = !a[i].same_match(c[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, NoDuplicateMatches) {
+  const RuleSet rs = make_classbench_like(FilterType::kIpc, 1000);
+  std::set<u64> fps;
+  for (const Rule& r : rs) {
+    EXPECT_TRUE(fps.insert(match_fingerprint(r)).second);
+  }
+}
+
+TEST(Generator, RejectsUnknownNominalSize) {
+  EXPECT_THROW((void)GeneratorProfile::classbench(FilterType::kAcl, 2000),
+               ConfigError);
+}
+
+TEST(Generator, LabelSavingClaim) {
+  // §III.C: "the storage requirement can be reduced by more than 50%"
+  // (unique-field storage vs replicated storage, Table II discussion).
+  for (usize nominal : {usize{1000}, usize{5000}, usize{10000}}) {
+    const RuleSet rs = make_classbench_like(FilterType::kAcl, nominal);
+    const auto st = RuleSetStats::analyze(rs);
+    EXPECT_GT(st.unique_only_saving(), 0.5) << nominal;
+  }
+}
+
+TEST(Generator, SegmentLabelDemandFitsLabelWidths) {
+  // The 13/7/2-bit labels must cover every unique per-dimension value of
+  // the largest calibrated workloads (§III.C.1).
+  for (FilterType t : {FilterType::kAcl, FilterType::kFw, FilterType::kIpc}) {
+    const RuleSet rs = make_classbench_like(t, 10000);
+    const auto st = RuleSetStats::analyze(rs);
+    for (Dimension d : kAllDimensions) {
+      EXPECT_LE(st.unique_per_dimension[index_of(d)],
+                usize{1} << label_bits(d))
+          << to_string(t) << "/" << to_string(d);
+    }
+  }
+}
+
+TEST(TraceGen, DerivedHeadersMatchOriginRule) {
+  const RuleSet rs = make_classbench_like(FilterType::kAcl, 1000);
+  TraceGenerator tg(rs, {.headers = 1000, .random_fraction = 0.0,
+                         .seed = 11});
+  const net::Trace trace = tg.generate();
+  ASSERT_EQ(trace.size(), 1000u);
+  for (const auto& e : trace) {
+    ASSERT_TRUE(e.origin_rule.has_value());
+    const auto rule = rs.find(*e.origin_rule);
+    ASSERT_TRUE(rule.has_value());
+    EXPECT_TRUE(rule->matches(e.header));
+  }
+}
+
+TEST(TraceGen, Deterministic) {
+  const RuleSet rs = make_classbench_like(FilterType::kFw, 1000);
+  TraceGenerator a(rs, {.headers = 100, .seed = 3});
+  TraceGenerator b(rs, {.headers = 100, .seed = 3});
+  const auto ta = a.generate(), tb = b.generate();
+  for (usize i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].header, tb[i].header);
+  }
+}
+
+TEST(TraceGen, RandomFractionProducesUnderivedHeaders) {
+  const RuleSet rs = make_classbench_like(FilterType::kAcl, 1000);
+  TraceGenerator tg(rs, {.headers = 1000, .random_fraction = 0.5,
+                         .seed = 13});
+  const auto t = tg.generate();
+  usize underived = 0;
+  for (const auto& e : t) {
+    if (!e.origin_rule) ++underived;
+  }
+  EXPECT_GT(underived, 350u);
+  EXPECT_LT(underived, 650u);
+}
+
+TEST(TraceGen, EmptyRuleSetRejected) {
+  RuleSet empty;
+  EXPECT_THROW(TraceGenerator(empty, {}), ConfigError);
+}
+
+TEST(Stats, PerDimensionCountsConsistent) {
+  const RuleSet rs = make_classbench_like(FilterType::kAcl, 1000);
+  const auto st = RuleSetStats::analyze(rs);
+  // Port/proto dimension counts equal the full-field counts.
+  EXPECT_EQ(st.unique_per_dimension[index_of(Dimension::kSrcPort)],
+            st.unique_src_port);
+  EXPECT_EQ(st.unique_per_dimension[index_of(Dimension::kDstPort)],
+            st.unique_dst_port);
+  EXPECT_EQ(st.unique_per_dimension[index_of(Dimension::kProtocol)],
+            st.unique_protocol);
+  // Segment uniqueness cannot exceed full-field uniqueness... per side.
+  EXPECT_LE(st.unique_per_dimension[index_of(Dimension::kSrcIpHi)],
+            st.unique_src_ip + 1);
+  EXPECT_GT(st.field_bits_replicated, st.field_bits_unique_only);
+}

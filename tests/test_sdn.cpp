@@ -1,0 +1,182 @@
+// SDN layer: FlowMod handling, flow statistics, action dispatch and the
+// controller's algorithm-selection policy.
+#include <gtest/gtest.h>
+
+#include "sdn/controller.hpp"
+#include "sdn/switch_device.hpp"
+
+using namespace pclass;
+using namespace pclass::sdn;
+using pclass::ruleset::IpPrefix;
+using pclass::ruleset::PortRange;
+using pclass::ruleset::ProtoMatch;
+using pclass::ruleset::Rule;
+
+namespace {
+
+Rule web_rule(u32 id) {
+  Rule r;
+  r.id = RuleId{id};
+  r.priority = id;
+  r.dst_ip = IpPrefix::make(ipv4(10, 0, 0, 0), 8);
+  r.dst_port = PortRange::exact(80);
+  r.proto = ProtoMatch::exact(net::kProtoTcp);
+  return r;
+}
+
+net::FiveTuple web_header() {
+  return {ipv4(1, 2, 3, 4), ipv4(10, 9, 8, 7), 5555, 80, net::kProtoTcp};
+}
+
+FlowMod add_mod(const Rule& r, ActionSpec a) {
+  FlowMod fm;
+  fm.command = FlowMod::Command::kAdd;
+  fm.cookie = r.id;
+  fm.match = r;
+  fm.action = a;
+  return fm;
+}
+
+}  // namespace
+
+TEST(ActionSpecTest, EncodeDecodeRoundTrip) {
+  for (const ActionSpec a : {ActionSpec::drop(), ActionSpec::output(12),
+                             ActionSpec::group(0x3FFF)}) {
+    EXPECT_EQ(ActionSpec::decode(a.encode()), a);
+  }
+}
+
+TEST(SwitchDevice, FlowModAddAndForward) {
+  SwitchDevice sw("s1");
+  const auto cost = sw.handle(add_mod(web_rule(1), ActionSpec::output(3)));
+  EXPECT_GT(cost.cycles, 0u);
+  EXPECT_EQ(sw.flow_count(), 1u);
+
+  const auto res = sw.process_header(web_header(), 64);
+  EXPECT_EQ(res.action.kind, ActionSpec::Kind::kOutput);
+  EXPECT_EQ(res.action.arg, 3u);
+  ASSERT_TRUE(res.rule.has_value());
+  EXPECT_EQ(res.rule->value, 1u);
+  EXPECT_GT(res.lookup_cycles, 0u);
+  EXPECT_EQ(sw.stats().packets_matched, 1u);
+}
+
+TEST(SwitchDevice, TableMissDrops) {
+  SwitchDevice sw("s1");
+  sw.handle(add_mod(web_rule(1), ActionSpec::output(3)));
+  net::FiveTuple other = web_header();
+  other.dst_port = 443;
+  const auto res = sw.process_header(other, 64);
+  EXPECT_EQ(res.action.kind, ActionSpec::Kind::kDrop);
+  EXPECT_FALSE(res.rule.has_value());
+  EXPECT_EQ(sw.stats().packets_dropped, 1u);
+}
+
+TEST(SwitchDevice, ExplicitDropActionCounted) {
+  SwitchDevice sw("s1");
+  sw.handle(add_mod(web_rule(1), ActionSpec::drop()));
+  const auto res = sw.process_header(web_header(), 64);
+  ASSERT_TRUE(res.rule.has_value());  // matched...
+  EXPECT_EQ(sw.stats().packets_matched, 1u);
+  EXPECT_EQ(sw.stats().packets_dropped, 1u);  // ...and dropped by action
+}
+
+TEST(SwitchDevice, FlowStatsAccumulate) {
+  SwitchDevice sw("s1");
+  sw.handle(add_mod(web_rule(1), ActionSpec::output(1)));
+  sw.process_header(web_header(), 100);
+  sw.process_header(web_header(), 60);
+  const auto fs = sw.flow_stats(RuleId{1});
+  ASSERT_TRUE(fs.has_value());
+  EXPECT_EQ(fs->packets, 2u);
+  EXPECT_EQ(fs->bytes, 160u);
+}
+
+TEST(SwitchDevice, FlowModDelete) {
+  SwitchDevice sw("s1");
+  sw.handle(add_mod(web_rule(1), ActionSpec::output(1)));
+  FlowMod del;
+  del.command = FlowMod::Command::kDelete;
+  del.cookie = RuleId{1};
+  sw.handle(del);
+  EXPECT_EQ(sw.flow_count(), 0u);
+  EXPECT_FALSE(sw.process_header(web_header(), 64).rule.has_value());
+}
+
+TEST(SwitchDevice, RawPacketPath) {
+  SwitchDevice sw("s1");
+  sw.handle(add_mod(web_rule(1), ActionSpec::output(7)));
+  const auto pkt = net::make_packet(web_header(), 32);
+  const auto res = sw.process_packet(pkt.bytes);
+  EXPECT_EQ(res.action.arg, 7u);
+  // Garbage is a parse error.
+  const std::vector<u8> junk(6, 0xAB);
+  sw.process_packet(junk);
+  EXPECT_EQ(sw.stats().parse_errors, 1u);
+}
+
+TEST(SwitchDevice, ConfigModSwitchesAlgorithm) {
+  SwitchDevice sw("s1");
+  sw.handle(add_mod(web_rule(1), ActionSpec::output(1)));
+  EXPECT_EQ(sw.classifier().ip_algorithm(), core::IpAlgorithm::kMbt);
+  const auto cost = sw.handle(ConfigMod{true});
+  EXPECT_GT(cost.config_toggles, 0u);
+  EXPECT_EQ(sw.classifier().ip_algorithm(), core::IpAlgorithm::kBst);
+  // Still forwards correctly after the switch.
+  EXPECT_TRUE(sw.process_header(web_header(), 64).rule.has_value());
+}
+
+TEST(Controller, PolicyPicksBstForLargeTables) {
+  EXPECT_EQ(Controller::select_algorithm({.realtime = true,
+                                          .expected_rules = 500},
+                                         8000),
+            core::IpAlgorithm::kMbt);
+  EXPECT_EQ(Controller::select_algorithm({.realtime = false,
+                                          .expected_rules = 12000},
+                                         8000),
+            core::IpAlgorithm::kBst);
+}
+
+TEST(Controller, BroadcastsToAllSwitches) {
+  SwitchDevice s1("s1"), s2("s2");
+  Controller ctl("c0");
+  ctl.attach(s1);
+  ctl.attach(s2);
+  ctl.install(web_rule(1), ActionSpec::output(2));
+  EXPECT_EQ(s1.flow_count(), 1u);
+  EXPECT_EQ(s2.flow_count(), 1u);
+  EXPECT_EQ(ctl.stats().flow_mods_sent, 1u);
+  EXPECT_GT(ctl.stats().update_cycles_total, 0u);
+
+  ctl.remove(RuleId{1});
+  EXPECT_EQ(s1.flow_count(), 0u);
+  EXPECT_EQ(s2.flow_count(), 0u);
+}
+
+TEST(Controller, ConfigureDrivesIpAlgS) {
+  SwitchDevice sw("s1");
+  Controller ctl("c0");
+  ctl.attach(sw);
+  ctl.configure({.realtime = false, .expected_rules = 20000}, 8000);
+  EXPECT_EQ(sw.classifier().ip_algorithm(), core::IpAlgorithm::kBst);
+  EXPECT_EQ(ctl.stats().config_mods_sent, 1u);
+}
+
+TEST(Controller, InstallRuleset) {
+  SwitchDevice sw("s1");
+  Controller ctl("c0");
+  ctl.attach(sw);
+  ruleset::RuleSet rs;
+  for (u32 i = 0; i < 10; ++i) {
+    Rule r = web_rule(i);
+    r.dst_port = PortRange::exact(static_cast<u16>(8000 + i));
+    r.action = ruleset::Action{ActionSpec::output(static_cast<u16>(i))
+                                   .encode()};
+    rs.add(r);
+  }
+  ctl.install_ruleset(rs);
+  EXPECT_EQ(sw.flow_count(), 10u);
+  net::FiveTuple h = web_header();
+  h.dst_port = 8004;
+  EXPECT_EQ(sw.process_header(h, 64).action.arg, 4u);
+}

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "baseline/linear_search.hpp"
+#include "core/classifier.hpp"
+#include "ruleset/generator.hpp"
+#include "ruleset/stats.hpp"
+#include "ruleset/trace_gen.hpp"
+
+using namespace pclass;
+
+class SmokeAll : public ::testing::TestWithParam<
+                     std::tuple<ruleset::FilterType, usize, core::IpAlgorithm>> {};
+
+TEST_P(SmokeAll, CrossProductMatchesOracle) {
+  const auto [type, size, alg] = GetParam();
+  auto rules = ruleset::make_classbench_like(type, size);
+
+  core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(rules.size());
+  cfg.combine_mode = core::CombineMode::kCrossProduct;
+  cfg.ip_algorithm = alg;
+  core::ConfigurableClassifier clf(cfg);
+  clf.add_rules(rules);
+
+  baseline::LinearSearch oracle(rules);
+  ruleset::TraceGenerator tg(rules, {.headers = 500, .seed = 7});
+  auto trace = tg.generate();
+
+  usize mismatches = 0;
+  for (const auto& e : trace) {
+    const auto got = clf.classify(e.header);
+    const auto* want = oracle.classify(e.header, nullptr);
+    if (want == nullptr ? got.match.has_value()
+                        : (!got.match || got.match->rule != want->id)) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+
+  auto stats = ruleset::RuleSetStats::analyze(rules);
+  fprintf(stderr,
+          "[info] %s rules=%zu uniq(src=%zu dst=%zu sp=%zu dp=%zu pr=%zu)\n",
+          rules.name().c_str(), rules.size(), stats.unique_src_ip,
+          stats.unique_dst_ip, stats.unique_src_port, stats.unique_dst_port,
+          stats.unique_protocol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SmokeAll,
+    ::testing::Combine(
+        ::testing::Values(ruleset::FilterType::kAcl, ruleset::FilterType::kFw,
+                          ruleset::FilterType::kIpc),
+        ::testing::Values(1000, 5000, 10000),
+        ::testing::Values(core::IpAlgorithm::kMbt, core::IpAlgorithm::kBst)));

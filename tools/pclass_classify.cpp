@@ -1,0 +1,137 @@
+/// \file pclass_classify.cpp
+/// Offline classification driver: load a ClassBench filter file and a
+/// trace, run them through the configurable classifier, and report the
+/// measured performance — the workflow of the paper's evaluation, on
+/// your own rule sets.
+///
+///   pclass_classify <rules_file> <trace_file> [--alg mbt|bst]
+///                   [--mode first|cross] [--verify]
+#include <fstream>
+#include <iostream>
+
+#include "baseline/linear_search.hpp"
+#include "common/table.hpp"
+#include "core/classifier.hpp"
+#include "core/cycle_model.hpp"
+#include "net/trace.hpp"
+#include "ruleset/classbench.hpp"
+
+using namespace pclass;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: pclass_classify <rules_file> <trace_file> "
+               "[--alg mbt|bst] [--mode first|cross] [--verify]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  core::IpAlgorithm alg = core::IpAlgorithm::kMbt;
+  core::CombineMode mode = core::CombineMode::kCrossProduct;
+  bool verify = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--alg" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "mbt") alg = core::IpAlgorithm::kMbt;
+      else if (v == "bst") alg = core::IpAlgorithm::kBst;
+      else return usage();
+    } else if (flag == "--mode" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "first") mode = core::CombineMode::kFirstLabel;
+      else if (v == "cross") mode = core::CombineMode::kCrossProduct;
+      else return usage();
+    } else if (flag == "--verify") {
+      verify = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    std::ifstream rf(argv[1]);
+    if (!rf) throw Error(std::string("cannot open ") + argv[1]);
+    const ruleset::RuleSet rules = ruleset::classbench::read(rf, argv[1]);
+    std::ifstream tf(argv[2]);
+    if (!tf) throw Error(std::string("cannot open ") + argv[2]);
+    const net::Trace trace = net::Trace::read(tf);
+    std::cout << "loaded " << rules.size() << " rules, " << trace.size()
+              << " headers\n";
+
+    core::ClassifierConfig cfg =
+        core::ClassifierConfig::for_scale(rules.size());
+    cfg.ip_algorithm = alg;
+    cfg.combine_mode = mode;
+    core::ConfigurableClassifier clf(cfg);
+    const auto load = clf.add_rules(rules);
+
+    hw::CycleAggregate agg;
+    usize hits = 0;
+    for (const auto& e : trace) {
+      const auto res = clf.classify(e.header);
+      hw::CycleRecorder rec;
+      rec.charge(res.cycles, res.memory_accesses);
+      agg.add(rec);
+      if (res.match) ++hits;
+    }
+
+    const core::ThroughputModel rate{cfg.fmax_mhz};
+    const double ii = static_cast<double>(
+        clf.lookup_pipeline().initiation_interval());
+    TextTable t({"metric", "value"});
+    t.add_row({"configuration", std::string(to_string(alg)) + " / " +
+                                    to_string(mode)});
+    t.add_row({"load cost", std::to_string(load.cycles) + " bus cycles (" +
+                                TextTable::num(
+                                    static_cast<double>(load.cycles) /
+                                        static_cast<double>(rules.size()),
+                                    1) +
+                                "/rule)"});
+    t.add_row({"hits", std::to_string(hits) + "/" +
+                           std::to_string(trace.size())});
+    t.add_row({"mean cycles/lookup", TextTable::num(agg.mean_cycles())});
+    t.add_row({"mean accesses/lookup", TextTable::num(agg.mean_accesses())});
+    t.add_row({"worst cycles", std::to_string(agg.max_cycles())});
+    t.add_row({"pipelined rate", TextTable::num(
+                                     rate.mega_lookups_per_sec(ii)) +
+                                     " Mlps = " +
+                                     TextTable::num(rate.gbps(ii, 40)) +
+                                     " Gbps @40B"});
+    const auto mem = clf.memory_report();
+    t.add_row({"live memory", TextTable::num(
+                                  static_cast<double>(mem.total_used_bits) /
+                                      1e3,
+                                  0) +
+                                  " Kb"});
+    t.print(std::cout);
+
+    if (verify) {
+      baseline::LinearSearch oracle(rules);
+      usize agree = 0;
+      for (const auto& e : trace) {
+        const auto got = clf.classify(e.header);
+        const auto* want = oracle.classify(e.header, nullptr);
+        const bool ok = want == nullptr
+                            ? !got.match.has_value()
+                            : got.match && got.match->rule == want->id;
+        if (ok) ++agree;
+      }
+      std::cout << "verify: " << agree << "/" << trace.size()
+                << " agree with the linear-search oracle\n";
+      if (mode == core::CombineMode::kCrossProduct &&
+          agree != trace.size()) {
+        return 1;
+      }
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
