@@ -1,0 +1,31 @@
+/// \file parse.hpp
+/// Strict CLI number parsing shared by the tools and benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Parse a strict non-negative decimal into \p out. Unlike bare
+/// std::stoul this rejects "-1" (which would wrap to a huge unsigned)
+/// and trailing garbage like "8x"; failures print to stderr and return
+/// false so callers can fall through to their usage message.
+inline bool parse_count(const std::string& text, u64& out) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "error: not a number: " << text << "\n";
+    return false;
+  }
+  try {
+    out = std::stoull(text);
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "error: number out of range: " << text << "\n";
+    return false;
+  }
+}
+
+}  // namespace pclass

@@ -501,6 +501,26 @@ ClassifyResult ConfigurableClassifier::classify_packet(
   return classify(*t);
 }
 
+void ConfigurableClassifier::classify_batch(
+    std::span<const net::FiveTuple> in,
+    std::span<ClassifyResult> out) const {
+  if (out.size() < in.size()) {
+    throw ConfigError("classify_batch: output span smaller than input");
+  }
+  for (usize i = 0; i < in.size(); ++i) {
+    out[i] = classify(in[i]);
+  }
+}
+
+std::vector<ruleset::Rule> ConfigurableClassifier::installed_rules() const {
+  std::vector<ruleset::Rule> out;
+  out.reserve(installed_.size());
+  for (const auto& [id, ir] : installed_) {
+    out.push_back(ir.rule);
+  }
+  return out;
+}
+
 std::optional<ruleset::Rule> ConfigurableClassifier::installed_rule(
     RuleId id) const {
   const auto it = installed_.find(id);

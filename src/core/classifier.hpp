@@ -112,6 +112,14 @@ class ConfigurableClassifier {
   [[nodiscard]] ClassifyResult classify_packet(
       std::span<const u8> bytes) const;
 
+  /// Batched lookup: classify `in[i]` into `out[i]` for the whole span
+  /// in one tight loop. This is the entry point the dataplane engine
+  /// drives per worker batch; `out.size()` must be >= `in.size()`.
+  /// Thread-safe against other concurrent const lookups (the update
+  /// path is not — the dataplane publishes immutable snapshots instead).
+  void classify_batch(std::span<const net::FiveTuple> in,
+                      std::span<ClassifyResult> out) const;
+
   // ---- introspection ----
 
   [[nodiscard]] const ClassifierConfig& config() const { return cfg_; }
@@ -119,6 +127,10 @@ class ConfigurableClassifier {
   [[nodiscard]] CombineMode combine_mode() const { return cfg_.combine_mode; }
   [[nodiscard]] usize rule_count() const { return installed_.size(); }
   [[nodiscard]] std::optional<ruleset::Rule> installed_rule(RuleId id) const;
+
+  /// Snapshot extraction: every installed rule (id order), so a
+  /// dataplane publisher can seed a fresh replica from a live device.
+  [[nodiscard]] std::vector<ruleset::Rule> installed_rules() const;
 
   /// Cumulative update-bus statistics since construction.
   [[nodiscard]] const hw::UpdateStats& update_stats() const {

@@ -1,0 +1,85 @@
+/// \file element.hpp
+/// Click-inspired element graph: the dataplane is a chain of small
+/// composable stages, each consuming and annotating a PacketBatch and
+/// pushing it downstream. Elements are cheap objects owned per worker
+/// (no sharing, no locks inside an element); anything shared between
+/// workers — the rule program, the traffic pool — is reached through
+/// explicitly thread-safe handles.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/packet_batch.hpp"
+
+namespace pclass::dataplane {
+
+/// One pipeline stage. Subclasses implement push_batch(), annotate the
+/// batch in place, and call forward() to hand it downstream.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Wire this element's output to \p next (single output port).
+  void connect(Element* next) { next_ = next; }
+  [[nodiscard]] Element* next() const { return next_; }
+
+  /// Process one batch (possibly empty) and forward it.
+  virtual void push_batch(net::PacketBatch& batch) = 0;
+
+ protected:
+  void forward(net::PacketBatch& batch) {
+    if (next_ != nullptr) {
+      next_->push_batch(batch);
+    }
+  }
+
+ private:
+  std::string name_;
+  Element* next_ = nullptr;
+};
+
+/// An owning chain of elements, wired head-to-tail in insertion order.
+class Pipeline {
+ public:
+  /// Append an element, connecting the previous tail to it. Returns the
+  /// concrete element pointer for later inspection.
+  template <typename E, typename... Args>
+  E* emplace(Args&&... args) {
+    auto owned = std::make_unique<E>(std::forward<Args>(args)...);
+    E* raw = owned.get();
+    if (!elements_.empty()) {
+      elements_.back()->connect(raw);
+    }
+    elements_.push_back(std::move(owned));
+    return raw;
+  }
+
+  [[nodiscard]] usize size() const { return elements_.size(); }
+  [[nodiscard]] Element* head() const {
+    return elements_.empty() ? nullptr : elements_.front().get();
+  }
+  [[nodiscard]] Element* at(usize i) const { return elements_.at(i).get(); }
+
+  /// Push a batch into the head of the chain.
+  void push_batch(net::PacketBatch& batch) {
+    if (elements_.empty()) {
+      throw ConfigError("Pipeline: push into an empty pipeline");
+    }
+    elements_.front()->push_batch(batch);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Element>> elements_;
+};
+
+}  // namespace pclass::dataplane

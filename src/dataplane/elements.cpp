@@ -1,0 +1,177 @@
+#include "dataplane/elements.hpp"
+
+#include "sdn/flow_mod.hpp"
+
+namespace pclass::dataplane {
+
+// ---- TrafficPool ----------------------------------------------------------
+
+TrafficPool TrafficPool::from_trace(const net::Trace& trace,
+                                    bool materialize_packets) {
+  TrafficPool pool;
+  for (const auto& e : trace) {
+    if (materialize_packets) {
+      pool.add(net::make_packet(e.header));
+    } else {
+      pool.add(e.header);
+    }
+  }
+  return pool;
+}
+
+usize TrafficPool::fill(net::PacketBatch& batch, bool loop) {
+  const usize total = size();
+  if (total == 0 || batch.full()) return 0;
+  const usize want = batch.capacity() - batch.size();
+  const u64 start = cursor_.fetch_add(want, std::memory_order_relaxed);
+  usize added = 0;
+  for (usize k = 0; k < want; ++k) {
+    u64 idx = start + k;
+    if (!loop && idx >= total) break;
+    idx %= total;
+    if (packets_.empty()) {
+      batch.push(tuples_[idx]);
+    } else {
+      batch.push(&packets_[idx]);
+    }
+    ++added;
+  }
+  return added;
+}
+
+// ---- PacketSource ---------------------------------------------------------
+
+void PacketSource::push_batch(net::PacketBatch& batch) {
+  batch.clear();
+  const usize n = pool_->fill(batch, loop_);
+  if (n == 0) {
+    // Finite pool drained (or empty pool in loop mode): end of input.
+    exhausted_ = true;
+    return;
+  }
+  ++batches_;
+  forward(batch);
+}
+
+// ---- Parser ---------------------------------------------------------------
+
+void Parser::push_batch(net::PacketBatch& batch) {
+  for (usize i = 0; i < batch.size(); ++i) {
+    net::PacketMeta& m = batch.meta(i);
+    if (m.tuple) continue;  // pre-parsed entry
+    const net::Packet* p = batch.packet(i);
+    const std::optional<net::FiveTuple> t =
+        p == nullptr ? std::nullopt
+                     : net::parse_five_tuple(p->bytes);
+    if (t) {
+      m.tuple = t;
+      ++parsed_;
+    } else {
+      // Pre-classifier drop path: one cycle in the parser stage,
+      // mirroring classify_packet()'s non-IPv4 handling.
+      m.parse_error = true;
+      m.resolved = true;
+      m.lookup_cycles += 1;
+      ++errors_;
+    }
+  }
+  forward(batch);
+}
+
+// ---- FlowCacheElement -----------------------------------------------------
+
+void FlowCacheElement::push_batch(net::PacketBatch& batch) {
+  const u64 v = programs_->version();
+  if (v != seen_version_) {
+    cache_.invalidate_all();
+    seen_version_ = v;
+  }
+  for (usize i = 0; i < batch.size(); ++i) {
+    net::PacketMeta& m = batch.meta(i);
+    if (m.resolved || !m.tuple) continue;
+    hw::CycleRecorder rec;
+    const auto cached = cache_.lookup(*m.tuple, &rec);
+    m.lookup_cycles += rec.cycles();
+    if (!cached) continue;  // miss: the classifier resolves it
+    m.resolved = true;
+    m.from_cache = true;
+    if (*cached) {
+      const core::RuleEntry& e = **cached;
+      m.matched = true;
+      m.rule = e.rule;
+      m.priority = e.priority;
+      m.action_token = e.action;
+    }
+  }
+  forward(batch);
+}
+
+// ---- ClassifierElement ----------------------------------------------------
+
+void ClassifierElement::push_batch(net::PacketBatch& batch) {
+  const std::shared_ptr<const RuleProgram> snap = programs_->acquire();
+  const u64 v = snap->version();
+  batch.rule_version = v;
+  if (seen_any_ && v < max_version_) {
+    monotonic_ = false;
+  }
+  seen_any_ = true;
+  min_version_ = std::min(min_version_, v);
+  max_version_ = std::max(max_version_, v);
+
+  keys_.clear();
+  slots_.clear();
+  for (usize i = 0; i < batch.size(); ++i) {
+    const net::PacketMeta& m = batch.meta(i);
+    if (!m.resolved && m.tuple) {
+      slots_.push_back(i);
+      keys_.push_back(*m.tuple);
+    }
+  }
+  res_.assign(keys_.size(), core::ClassifyResult{});
+  snap->classifier().classify_batch(keys_, res_);
+  lookups_ += keys_.size();
+
+  for (usize k = 0; k < slots_.size(); ++k) {
+    net::PacketMeta& m = batch.meta(slots_[k]);
+    const core::ClassifyResult& r = res_[k];
+    m.resolved = true;
+    m.lookup_cycles += r.cycles;
+    if (r.match) {
+      m.matched = true;
+      m.rule = r.match->rule;
+      m.priority = r.match->priority;
+      m.action_token = r.match->action;
+    }
+    if (cache_ != nullptr) {
+      cache_->fill_verdict(keys_[k], r.match, v);
+    }
+  }
+  forward(batch);
+}
+
+// ---- ActionSink -----------------------------------------------------------
+
+void ActionSink::push_batch(net::PacketBatch& batch) {
+  ++batches_;
+  for (usize i = 0; i < batch.size(); ++i) {
+    const net::PacketMeta& m = batch.meta(i);
+    ++packets_;
+    latency_.record(m.lookup_cycles);
+    if (m.from_cache) ++cache_hits_;
+    if (!m.matched) {
+      ++dropped_;  // parse error or table miss: default drop
+      continue;
+    }
+    ++matched_;
+    const sdn::ActionSpec a = sdn::ActionSpec::decode(m.action_token);
+    if (a.kind == sdn::ActionSpec::Kind::kDrop) {
+      ++dropped_;
+    } else {
+      ++forwarded_;
+    }
+  }
+  forward(batch);
+}
+
+}  // namespace pclass::dataplane

@@ -1,0 +1,140 @@
+#include "dataplane/engine.hpp"
+
+#include <chrono>
+
+namespace pclass::dataplane {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+Engine::Engine(EngineConfig cfg, const RuleProgramPublisher& programs)
+    : cfg_(cfg), programs_(&programs) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.batch_size == 0) cfg_.batch_size = net::kDefaultBatchCapacity;
+}
+
+Engine::~Engine() {
+  if (running_) {
+    stop();
+  }
+}
+
+void Engine::start(TrafficPool& pool) {
+  if (running_) {
+    throw ConfigError("Engine: start() while already running");
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  workers_.clear();
+  for (usize i = 0; i < cfg_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->source = w->pipeline.emplace<PacketSource>(&pool, cfg_.loop);
+    w->parser = w->pipeline.emplace<Parser>();
+    if (cfg_.flow_cache_depth > 0) {
+      w->cache = w->pipeline.emplace<FlowCacheElement>(
+          programs_, cfg_.flow_cache_depth,
+          "worker" + std::to_string(i) + ".flow_cache");
+    }
+    w->classifier =
+        w->pipeline.emplace<ClassifierElement>(programs_, w->cache);
+    w->sink = w->pipeline.emplace<ActionSink>();
+    workers_.push_back(std::move(w));
+  }
+  const Clock::time_point t0 = Clock::now();
+  try {
+    for (auto& w : workers_) {
+      w->thread = std::thread([this, &w = *w, t0] {
+        try {
+          worker_main(w);
+        } catch (const std::exception& e) {
+          // An escaping exception would std::terminate the process;
+          // capture it for the report instead.
+          w.error = e.what();
+        }
+        w.wall_seconds = seconds_since(t0);
+      });
+    }
+  } catch (...) {
+    // Thread construction failed part-way (e.g. an absurd worker
+    // count): join what launched, or their destructors terminate us.
+    stop_.store(true, std::memory_order_relaxed);
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+    workers_.clear();
+    throw;
+  }
+  running_ = true;
+  wall_seconds_ = 0;
+}
+
+void Engine::worker_main(Worker& w) {
+  net::PacketBatch batch(cfg_.batch_size);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    w.source->push_batch(batch);
+    if (w.source->exhausted()) break;
+  }
+}
+
+EngineReport Engine::stop() { return finish(/*signal_stop=*/true); }
+
+EngineReport Engine::finish(bool signal_stop) {
+  if (signal_stop) {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  double wall = 0;
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+    wall = std::max(wall, w->wall_seconds);
+  }
+  if (running_) {
+    wall_seconds_ = wall;
+    running_ = false;
+  }
+  return collect();
+}
+
+EngineReport Engine::run(TrafficPool& pool) {
+  if (cfg_.loop) {
+    throw ConfigError("Engine: run() requires a finite pool; "
+                      "loop mode uses start()/stop()");
+  }
+  start(pool);
+  // Workers exit on pool exhaustion; join without raising the stop flag
+  // (raising it would cut them off after their first batch).
+  return finish(/*signal_stop=*/false);
+}
+
+EngineReport Engine::collect() const {
+  EngineReport rep;
+  rep.wall_seconds = wall_seconds_;
+  for (usize i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    WorkerReport r;
+    r.worker = i;
+    r.batches = w.sink->batches();
+    r.packets = w.sink->packets();
+    r.matched = w.sink->matched();
+    r.dropped = w.sink->dropped();
+    r.parse_errors = w.parser->errors();
+    r.cache_hits = w.sink->cache_hits();
+    r.classifier_lookups = w.classifier->lookups();
+    r.cache_misses = w.cache == nullptr ? 0 : w.cache->stats().misses;
+    r.min_version = w.classifier->min_version();
+    r.max_version = w.classifier->max_version();
+    r.version_monotonic = w.classifier->version_monotonic();
+    r.latency = w.sink->latency();
+    r.wall_seconds = w.wall_seconds;
+    r.error = w.error;
+    rep.workers.push_back(std::move(r));
+  }
+  return rep;
+}
+
+}  // namespace pclass::dataplane

@@ -1,0 +1,81 @@
+/// \file engine.hpp
+/// The dataplane Engine: N worker threads, each driving its own
+/// element pipeline (PacketSource -> Parser -> [FlowCache] ->
+/// Classifier -> ActionSink) over per-worker PacketBatches. Workers
+/// share exactly two things, both wait-free on the fast path: the
+/// TrafficPool claim cursor and the published RuleProgram pointer.
+/// Everything else — batches, flow caches, statistics — is worker-local,
+/// which is what lets the aggregate throughput scale with cores while a
+/// concurrent writer streams rule updates through the publisher.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dataplane/elements.hpp"
+#include "dataplane/rule_program.hpp"
+#include "dataplane/stats.hpp"
+
+namespace pclass::dataplane {
+
+/// Engine geometry and policy.
+struct EngineConfig {
+  usize workers = 1;
+  usize batch_size = net::kDefaultBatchCapacity;
+  /// Per-worker exact-match flow-cache lines; 0 disables the cache.
+  u32 flow_cache_depth = 0;
+  /// false: drain the pool once and return (run()).
+  /// true: wrap the pool endlessly until stop() (start()/stop()).
+  bool loop = false;
+};
+
+/// Multi-worker batched dataplane runtime.
+class Engine {
+ public:
+  Engine(EngineConfig cfg, const RuleProgramPublisher& programs);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Drain a finite pool across all workers and report.
+  /// \throws ConfigError in loop mode (use start()/stop()).
+  EngineReport run(TrafficPool& pool);
+
+  /// Launch the workers without blocking (loop mode's entry point).
+  void start(TrafficPool& pool);
+
+  /// Signal, join and report. Idempotent once stopped.
+  EngineReport stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+ private:
+  struct Worker {
+    Pipeline pipeline;
+    PacketSource* source = nullptr;
+    Parser* parser = nullptr;
+    FlowCacheElement* cache = nullptr;
+    ClassifierElement* classifier = nullptr;
+    ActionSink* sink = nullptr;
+    std::thread thread;
+    double wall_seconds = 0;
+    std::string error;  ///< exception text if the worker died
+  };
+
+  void worker_main(Worker& w);
+  EngineReport finish(bool signal_stop);
+  [[nodiscard]] EngineReport collect() const;
+
+  EngineConfig cfg_;
+  const RuleProgramPublisher* programs_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  double wall_seconds_ = 0;
+};
+
+}  // namespace pclass::dataplane

@@ -1,0 +1,142 @@
+/// \file rule_program.hpp
+/// Lock-free rule snapshots for the dataplane runtime.
+///
+/// The paper's device applies controller updates in place; a software
+/// runtime with N lookup workers cannot, because the classifier's update
+/// path mutates the very memories the lookup path reads. This module
+/// separates the two RCU-style:
+///
+///   * RuleProgram — an immutable, version-stamped classifier snapshot.
+///     Workers acquire the current program once per batch (one atomic
+///     shared-pointer load) and classify against it with zero locks.
+///   * RuleProgramPublisher — the single-writer update side. It keeps
+///     two replicas of the device and an ordered update log; an update
+///     is applied to the standby replica (after waiting for old readers
+///     to drain off it), the replica is stamped with the log position as
+///     its version, and published with one atomic pointer swap.
+///
+/// Guarantees readers rely on (and tests assert):
+///   * no torn state — a published program is never mutated again until
+///     every reader reference to it is gone;
+///   * monotonic versions — acquire() observes non-decreasing versions,
+///     and version v contains exactly the first v updates of the log.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "sdn/southbound.hpp"
+
+namespace pclass::dataplane {
+
+/// An immutable classification program: one frozen device replica plus
+/// the update-log position it corresponds to.
+class RuleProgram {
+ public:
+  explicit RuleProgram(const core::ClassifierConfig& cfg) : clf_(cfg) {}
+
+  /// Number of log updates folded into this snapshot (monotonic).
+  [[nodiscard]] u64 version() const { return version_; }
+  [[nodiscard]] usize rule_count() const { return clf_.rule_count(); }
+
+  /// The frozen device. Const lookups on it are thread-safe; the
+  /// publisher only mutates a replica while it is unpublished and
+  /// reader-free.
+  [[nodiscard]] const core::ConfigurableClassifier& classifier() const {
+    return clf_;
+  }
+
+ private:
+  friend class RuleProgramPublisher;
+
+  core::ConfigurableClassifier clf_;
+  u64 version_ = 0;
+};
+
+/// Counters of the publisher's write side.
+struct PublisherStats {
+  u64 updates_applied = 0;   ///< log entries accepted (once per update)
+  u64 publishes = 0;         ///< snapshot swaps
+  u64 grace_spins = 0;       ///< yields spent waiting for readers to drain
+  /// Cumulative modelled device cost, charged once per accepted update
+  /// (the standby's catch-up re-application is bookkeeping, not cost).
+  hw::UpdateStats device;
+};
+
+/// Single-writer, many-reader snapshot publisher (RCU by shared_ptr:
+/// the reference count of the retired snapshot *is* the grace period).
+/// As an sdn::UpdateSink it attaches to a Controller like a switch.
+class RuleProgramPublisher : public sdn::UpdateSink {
+ public:
+  explicit RuleProgramPublisher(core::ClassifierConfig cfg = {});
+
+  // ---- read side (lock-free, any thread) ----
+
+  /// The current program. Hold it for one batch, then drop it — a
+  /// long-lived reference stalls the writer's grace period.
+  [[nodiscard]] std::shared_ptr<const RuleProgram> acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the currently published program.
+  [[nodiscard]] u64 version() const {
+    return published_version_.load(std::memory_order_acquire);
+  }
+
+  // ---- write side (serialized; callable from any one thread at a time) ----
+
+  /// Apply one southbound message and publish a new snapshot.
+  /// \throws whatever the classifier's update path throws; the log and
+  ///         both replicas are restored to the pre-call state.
+  hw::UpdateStats apply(const sdn::Message& msg);
+
+  /// sdn::UpdateSink: a Controller broadcast lands here.
+  hw::UpdateStats handle(const sdn::Message& msg) override {
+    return apply(msg);
+  }
+
+  /// Apply a batch of messages and publish *once* (update coalescing —
+  /// the off-hot-path build the paper's controller side suggests).
+  hw::UpdateStats apply_batch(std::span<const sdn::Message> msgs);
+
+  /// Convenience: install a whole rule set as one coalesced publish.
+  hw::UpdateStats install_ruleset(const ruleset::RuleSet& rules);
+
+  [[nodiscard]] const PublisherStats& stats() const { return stats_; }
+  [[nodiscard]] const core::ClassifierConfig& config() const { return cfg_; }
+
+ private:
+  /// The unpublished replica, after waiting for readers to drain off it.
+  [[nodiscard]] std::shared_ptr<RuleProgram>& standby();
+
+  /// Bring \p p to the log head; only entries >= \p charge_from count
+  /// toward the returned cost (catch-up re-applications are free).
+  hw::UpdateStats replay(RuleProgram& p, u64 charge_from);
+
+  /// Publish \p next (stamped at the current log head) with one swap.
+  void publish(const std::shared_ptr<RuleProgram>& next);
+
+  /// Rebuild \p p from the other replica after a failed replay left it
+  /// in an unknown state (exceptional path).
+  void rebuild_standby(std::shared_ptr<RuleProgram>& p);
+
+  core::ClassifierConfig cfg_;
+  mutable std::mutex writer_mu_;
+  /// Tail of the update log: entry k is update number log_base_ + k.
+  /// The prefix both replicas have absorbed is truncated after each
+  /// publish, so the log holds at most one in-flight batch.
+  std::vector<sdn::Message> log_;
+  u64 log_base_ = 0;
+  std::array<std::shared_ptr<RuleProgram>, 2> replicas_;
+  usize published_slot_ = 0;
+  std::atomic<std::shared_ptr<const RuleProgram>> current_;
+  std::atomic<u64> published_version_{0};
+  PublisherStats stats_;
+};
+
+}  // namespace pclass::dataplane

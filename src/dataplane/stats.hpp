@@ -1,0 +1,156 @@
+/// \file stats.hpp
+/// Per-worker measurement for the dataplane runtime: a cheap log-scale
+/// latency histogram (lookup cycles per packet) with percentile
+/// extraction, and the per-worker / engine-wide report structs the
+/// benches and the CLI print.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass::dataplane {
+
+/// Log2-bucketed histogram of per-packet lookup latency (in modelled
+/// device cycles). Constant memory, O(1) record, good-enough percentile
+/// resolution for a scaling curve (each bucket spans one power of two).
+class LatencyHistogram {
+ public:
+  static constexpr usize kBuckets = 64;
+
+  void record(u64 cycles) {
+    ++buckets_[bucket_of(cycles)];
+    ++count_;
+    sum_ += cycles;
+    min_ = count_ == 1 ? cycles : std::min(min_, cycles);
+    max_ = std::max(max_, cycles);
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (usize i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    if (o.count_ > 0) {
+      min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+      max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] u64 min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] u64 max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Value at percentile \p p (0..100): the lower bound of the bucket
+  /// holding the p-th sample (clamped to the observed min/max).
+  [[nodiscard]] u64 percentile(double p) const {
+    if (count_ == 0) return 0;
+    const double target = p / 100.0 * static_cast<double>(count_);
+    u64 seen = 0;
+    for (usize i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (static_cast<double>(seen) >= target && buckets_[i] > 0) {
+        const u64 lo = i == 0 ? 0 : (u64{1} << (i - 1));
+        return std::clamp(lo, min_, max_);
+      }
+    }
+    return max_;
+  }
+
+ private:
+  [[nodiscard]] static usize bucket_of(u64 v) {
+    // bit_width(v) is 64 for v >= 2^63; clamp into the last bucket.
+    return v == 0 ? 0
+                  : std::min<usize>(static_cast<usize>(std::bit_width(v)),
+                                    kBuckets - 1);
+  }
+
+  std::array<u64, kBuckets> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+};
+
+/// One worker's end-of-run measurement.
+struct WorkerReport {
+  usize worker = 0;
+  u64 batches = 0;
+  u64 packets = 0;
+  u64 matched = 0;
+  u64 dropped = 0;       ///< table miss or explicit drop action
+  u64 parse_errors = 0;
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
+  u64 classifier_lookups = 0;  ///< full 4-phase lookups (cache misses)
+  u64 min_version = 0;   ///< lowest rule-program version observed
+  u64 max_version = 0;   ///< highest rule-program version observed
+  bool version_monotonic = true;  ///< versions never went backwards
+  LatencyHistogram latency;       ///< per-packet lookup cycles
+  double wall_seconds = 0;
+  /// Non-empty if the worker died on an exception (exceptions must not
+  /// escape a worker thread — that would std::terminate the process).
+  std::string error;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const u64 total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double mpps() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(packets) / 1e6 /
+                                     wall_seconds;
+  }
+};
+
+/// Whole-engine rollup.
+struct EngineReport {
+  std::vector<WorkerReport> workers;
+  double wall_seconds = 0;
+
+  [[nodiscard]] u64 packets() const {
+    u64 n = 0;
+    for (const auto& w : workers) n += w.packets;
+    return n;
+  }
+  [[nodiscard]] u64 matched() const {
+    u64 n = 0;
+    for (const auto& w : workers) n += w.matched;
+    return n;
+  }
+  [[nodiscard]] double aggregate_mpps() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(packets()) / 1e6 /
+                                     wall_seconds;
+  }
+  /// First worker error, or empty when every worker ran to completion.
+  [[nodiscard]] std::string first_error() const {
+    for (const auto& w : workers) {
+      if (!w.error.empty()) return w.error;
+    }
+    return {};
+  }
+  [[nodiscard]] bool versions_monotonic() const {
+    for (const auto& w : workers) {
+      if (!w.version_monotonic) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] LatencyHistogram merged_latency() const {
+    LatencyHistogram h;
+    for (const auto& w : workers) h.merge(w.latency);
+    return h;
+  }
+};
+
+}  // namespace pclass::dataplane

@@ -5,6 +5,7 @@
 /// accesses" columns are *measured* quantities.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -59,8 +60,14 @@ class Memory {
   /// Clear contents and high-water mark (reconfiguration flush).
   void clear();
 
-  [[nodiscard]] const MemoryStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MemoryStats{}; }
+  [[nodiscard]] MemoryStats stats() const {
+    return MemoryStats{reads_.load(std::memory_order_relaxed),
+                       writes_.load(std::memory_order_relaxed)};
+  }
+  void reset_stats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   void check_addr(u32 addr) const;
@@ -71,7 +78,11 @@ class Memory {
   unsigned read_cycles_;
   std::vector<Word> data_;
   u64 used_words_ = 0;
-  mutable MemoryStats stats_;
+  // Relaxed atomics: the lookup path is const but metered, and dataplane
+  // workers read one frozen snapshot concurrently — counters must not be
+  // a data race. Ordering carries no meaning, only the totals do.
+  mutable std::atomic<u64> reads_{0};
+  std::atomic<u64> writes_{0};
 };
 
 }  // namespace pclass::hw

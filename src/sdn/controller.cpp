@@ -3,8 +3,8 @@
 namespace pclass::sdn {
 
 void Controller::broadcast(const Message& msg) {
-  for (SwitchDevice* sw : switches_) {
-    const hw::UpdateStats cost = sw->handle(msg);
+  for (UpdateSink* sink : sinks_) {
+    const hw::UpdateStats cost = sink->handle(msg);
     stats_.update_cycles_total += cost.cycles;
   }
   if (std::holds_alternative<FlowMod>(msg)) {

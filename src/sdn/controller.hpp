@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "sdn/flow_mod.hpp"
-#include "sdn/switch_device.hpp"
+#include "sdn/southbound.hpp"
 
 namespace pclass::sdn {
 
@@ -39,7 +39,10 @@ class Controller {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  void attach(SwitchDevice& sw) { switches_.push_back(&sw); }
+  /// Attach any southbound consumer: a live SwitchDevice, or the
+  /// dataplane's RuleProgramPublisher (snapshot build-and-swap off the
+  /// hot path instead of mutating a device under the lookup path).
+  void attach(UpdateSink& sink) { sinks_.push_back(&sink); }
 
   /// Algorithm-selection policy (§III.A): fast MBT for real-time
   /// applications that fit, compact BST for large tables.
@@ -70,7 +73,7 @@ class Controller {
   void broadcast(const Message& msg);
 
   std::string name_;
-  std::vector<SwitchDevice*> switches_;
+  std::vector<UpdateSink*> sinks_;
   ControllerStats stats_;
 };
 

@@ -12,25 +12,13 @@ SwitchDevice::SwitchDevice(std::string name, core::ClassifierConfig cfg,
 }
 
 hw::UpdateStats SwitchDevice::handle(const Message& msg) {
-  hw::UpdateStats cost;
+  const hw::UpdateStats cost = apply_message(classifier_, msg);
   if (const auto* fm = std::get_if<FlowMod>(&msg)) {
     if (fm->command == FlowMod::Command::kAdd) {
-      ruleset::Rule r = fm->match;
-      r.id = fm->cookie;
-      r.action = ruleset::Action{fm->action.encode()};
-      cost = classifier_.add_rule(r);
-      flows_.emplace(r.id, FlowStats{});
-    } else if (fm->command == FlowMod::Command::kModify) {
-      cost = classifier_.modify_rule(fm->cookie,
-                                     ruleset::Action{fm->action.encode()});
-    } else {
-      cost = classifier_.remove_rule(fm->cookie);
+      flows_.emplace(fm->cookie, FlowStats{});
+    } else if (fm->command == FlowMod::Command::kDelete) {
       flows_.erase(fm->cookie);
     }
-  } else if (const auto* cm = std::get_if<ConfigMod>(&msg)) {
-    cost = classifier_.set_ip_algorithm(cm->use_bst
-                                            ? core::IpAlgorithm::kBst
-                                            : core::IpAlgorithm::kMbt);
   }
   ++stats_.flow_mods_applied;
   stats_.update_cycles += cost.cycles;

@@ -13,6 +13,7 @@
 #include "core/classifier.hpp"
 #include "core/flow_cache.hpp"
 #include "sdn/flow_mod.hpp"
+#include "sdn/southbound.hpp"
 
 namespace pclass::sdn {
 
@@ -42,7 +43,7 @@ struct SwitchStats {
 /// An SDN switch with one classification-backed flow table and an
 /// optional exact-match flow cache on the fast path (the paper's "only
 /// the first packet header of a flow" premise).
-class SwitchDevice {
+class SwitchDevice : public UpdateSink {
  public:
   /// \param flow_cache_depth  cache lines for the exact-match fast path;
   ///                          0 disables the cache.
@@ -52,7 +53,7 @@ class SwitchDevice {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Apply one southbound message. Returns the measured update cost.
-  hw::UpdateStats handle(const Message& msg);
+  hw::UpdateStats handle(const Message& msg) override;
 
   /// Data plane: raw packet in, action out.
   ForwardResult process_packet(std::span<const u8> bytes);
