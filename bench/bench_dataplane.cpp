@@ -21,6 +21,7 @@
 #include "bench_util.hpp"
 #include "common/parse.hpp"
 #include "dataplane/engine.hpp"
+#include "workload/trace_synth.hpp"
 
 using namespace pclass;
 using namespace pclass::bench;
@@ -69,16 +70,6 @@ ScalePoint run_point(const dataplane::RuleProgramPublisher& programs,
   return p;
 }
 
-ruleset::Rule storm_rule(u32 i) {
-  ruleset::Rule r;
-  r.src_ip = ruleset::IpPrefix::make(0x0A000000u | (i & 0xFFu), 32);
-  r.dst_ip = ruleset::IpPrefix::make(0x0B000000u, 8);
-  r.id = RuleId{60'000u + (i & 0xFFu)};  // Rule Filter ids are 16-bit
-  r.priority = 0;  // in front of the whole set
-  r.action = ruleset::Action{sdn::ActionSpec::output(7).encode()};
-  return r;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,7 +102,11 @@ int main(int argc, char** argv) {
              std::to_string(std::thread::hardware_concurrency()) +
              " hardware threads.");
 
-  const Workload w = make_workload(ruleset::FilterType::kAcl, 5000, 20'000);
+  // Structural ACL profile + flow-structured trace from the workload
+  // subsystem (overlap control, correlated pairs, Zipf + bursts).
+  const Workload w = make_profile_workload(
+      workload::RulesetProfile::acl(4000),
+      workload::TraceProfile::standard(20'000, 2014 ^ 0xABCD));
   core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(
       w.rules.size() + 256 /* storm headroom */);
   cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact lookups
@@ -154,22 +149,14 @@ int main(int argc, char** argv) {
   const u64 version_before = programs.version();
   engine.start(pool);
 
+  const workload::UpdateStorm storm_sched = workload::make_update_storm(
+      w.rules, storm_updates & ~u32{1}, /*first_id=*/60'000, 2014);
   const auto t0 = std::chrono::steady_clock::now();
   hw::UpdateStats device_cost;
-  u64 applied = 0;  // updates come in add/delete pairs; track the real count
-  for (u32 i = 0; i + 1 < storm_updates; i += 2) {
-    const ruleset::Rule r = storm_rule(i / 2);
-    sdn::FlowMod add;
-    add.command = sdn::FlowMod::Command::kAdd;
-    add.cookie = r.id;
-    add.match = r;
-    add.action = sdn::ActionSpec::decode(r.action.token);
-    device_cost += programs.apply(add);
-    sdn::FlowMod del;
-    del.command = sdn::FlowMod::Command::kDelete;
-    del.cookie = r.id;
-    device_cost += programs.apply(del);
-    applied += 2;
+  u64 applied = 0;
+  for (const sdn::Message& msg : storm_sched.schedule) {
+    device_cost += programs.apply(msg);
+    ++applied;
   }
   const double storm_secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

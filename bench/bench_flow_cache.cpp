@@ -35,8 +35,9 @@ int main() {
 
       // Flow-structured traffic: each flow sends pkts_per_flow packets
       // back-to-back (flow tables see bursts; caches love them).
-      ruleset::TraceGenerator tg(rules, {.headers = 2000, .seed = 77});
-      const auto flows = tg.generate();
+      workload::TraceProfile tp = workload::TraceProfile::standard(2000, 77);
+      tp.miss_fraction = 0.05;
+      const auto flows = workload::TraceSynthesizer(rules, tp).generate();
       u64 cycles = 0, packets = 0;
       for (const auto& e : flows) {
         for (usize k = 0; k < pkts_per_flow; ++k) {

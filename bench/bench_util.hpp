@@ -14,7 +14,9 @@
 #include "core/cycle_model.hpp"
 #include "ruleset/generator.hpp"
 #include "ruleset/stats.hpp"
-#include "ruleset/trace_gen.hpp"
+#include "workload/profile.hpp"
+#include "workload/ruleset_synth.hpp"
+#include "workload/trace_synth.hpp"
 
 namespace pclass::bench {
 
@@ -24,15 +26,29 @@ struct Workload {
   net::Trace trace;
 };
 
+/// Paper-reproduction workload: the Table II/III-calibrated rule set
+/// (unique-field counts must keep matching the paper), driven by the
+/// workload subsystem's flow-structured trace (Zipf popularity + bursts)
+/// instead of the old flat per-header draws.
 inline Workload make_workload(ruleset::FilterType type, usize nominal,
                               usize headers = 10'000, u64 seed = 2014) {
   Workload w;
   w.rules = ruleset::make_classbench_like(type, nominal, seed);
-  ruleset::TraceGenerator tg(
-      w.rules,
-      {.headers = headers, .rule_skew = 1.0, .random_fraction = 0.05,
-       .seed = seed ^ 0xABCD});
-  w.trace = tg.generate();
+  workload::TraceSynthesizer ts(
+      w.rules, workload::TraceProfile::standard(headers, seed ^ 0xABCD));
+  w.trace = ts.generate();
+  return w;
+}
+
+/// Structural workload: a profile-synthesized set (overlap control,
+/// correlated pairs, port classes) with a matching trace — what the
+/// scenario catalog runs; exposed here for benches that want the same.
+inline Workload make_profile_workload(const workload::RulesetProfile& rp,
+                                      const workload::TraceProfile& tp) {
+  Workload w;
+  w.rules = workload::synthesize(rp);
+  workload::TraceSynthesizer ts(w.rules, tp);
+  w.trace = ts.generate();
   return w;
 }
 

@@ -114,9 +114,15 @@ Label LabelListStore::read_first(ListRef ref, hw::CycleRecorder* rec) const {
 
 std::vector<Label> LabelListStore::read_list(ListRef ref,
                                              hw::CycleRecorder* rec) const {
-  std::vector<Label> out;
+  LabelVec scratch;
+  read_list_into(ref, rec, scratch);
+  return std::vector<Label>(scratch.begin(), scratch.end());
+}
+
+void LabelListStore::read_list_into(ListRef ref, hw::CycleRecorder* rec,
+                                    LabelVec& out) const {
   if (ref.empty()) {
-    return out;
+    return;
   }
   u32 addr = ref.addr;
   while (true) {
@@ -127,7 +133,6 @@ std::vector<Label> LabelListStore::read_list(ListRef ref,
     }
     ++addr;
   }
-  return out;
 }
 
 }  // namespace pclass::alg

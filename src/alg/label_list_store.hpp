@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "hwsim/memory.hpp"
 #include "hwsim/update_bus.hpp"
@@ -59,6 +60,11 @@ class LabelListStore {
   /// combining and the DCFL baseline need the full list).
   [[nodiscard]] std::vector<Label> read_list(ListRef ref,
                                              hw::CycleRecorder* rec) const;
+
+  /// Allocation-free read_list: appends into caller-owned scratch (the
+  /// classifier's per-lookup hot path — see common/small_vec.hpp).
+  void read_list_into(ListRef ref, hw::CycleRecorder* rec,
+                      LabelVec& out) const;
 
   [[nodiscard]] const hw::Memory& memory() const { return mem_; }
   [[nodiscard]] unsigned label_bits() const { return label_bits_; }

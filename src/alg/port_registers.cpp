@@ -66,19 +66,39 @@ void PortRegisterFile::clear(hw::CommandLog& log) {
   next_slot_ = 0;
 }
 
+namespace {
+
+/// One decoded matching register, ordered per Table IV: exact match
+/// first, then tightest range, label value as a deterministic tiebreak.
+struct PortMatch {
+  u32 width;
+  bool exact;
+  Label label;
+
+  [[nodiscard]] bool before(const PortMatch& o) const {
+    if (exact != o.exact) return exact;
+    if (width != o.width) return width < o.width;
+    return label.value < o.label.value;
+  }
+};
+
+}  // namespace
+
 std::vector<Label> PortRegisterFile::lookup(u16 port,
                                             hw::CycleRecorder* rec) const {
+  LabelVec scratch;
+  lookup_into(port, rec, scratch);
+  return std::vector<Label>(scratch.begin(), scratch.end());
+}
+
+void PortRegisterFile::lookup_into(u16 port, hw::CycleRecorder* rec,
+                                   LabelVec& out) const {
   if (rec != nullptr) {
     regs_.charge_lookup(*rec);
   }
   // Model of the parallel compare + priority network: decode every valid
   // register word (hardware does this combinationally).
-  struct Match {
-    u32 width;
-    bool exact;
-    Label label;
-  };
-  std::vector<Match> matches;
+  SmallVec<PortMatch, 16> matches;
   for (u32 i = 0; i < regs_.used_count(); ++i) {
     hw::WordUnpacker u(regs_.reg(i));
     if (u.pull(1) == 0) {
@@ -91,24 +111,40 @@ std::vector<Label> PortRegisterFile::lookup(u16 port,
       matches.push_back({u32{hi} - lo + 1, lo == hi, label});
     }
   }
-  std::sort(matches.begin(), matches.end(), [](const Match& a,
-                                               const Match& b) {
-    if (a.exact != b.exact) return a.exact;          // exact first
-    if (a.width != b.width) return a.width < b.width;  // tightest next
-    return a.label.value < b.label.value;              // determinism
-  });
-  std::vector<Label> out;
-  out.reserve(matches.size());
-  for (const Match& m : matches) {
+  std::sort(matches.begin(), matches.end(),
+            [](const PortMatch& a, const PortMatch& b) {
+              return a.before(b);
+            });
+  for (const PortMatch& m : matches) {
     out.push_back(m.label);
   }
-  return out;
 }
 
 Label PortRegisterFile::lookup_first(u16 port,
                                      hw::CycleRecorder* rec) const {
-  const std::vector<Label> all = lookup(port, rec);
-  return all.empty() ? Label{} : all.front();
+  if (rec != nullptr) {
+    regs_.charge_lookup(*rec);
+  }
+  // Same priority network as lookup_into, tracking only the winner.
+  bool found = false;
+  PortMatch best{};
+  for (u32 i = 0; i < regs_.used_count(); ++i) {
+    hw::WordUnpacker u(regs_.reg(i));
+    if (u.pull(1) == 0) {
+      continue;
+    }
+    const u16 lo = static_cast<u16>(u.pull(16));
+    const u16 hi = static_cast<u16>(u.pull(16));
+    const Label label{static_cast<u16>(u.pull(kPortLabelBits))};
+    if (lo <= port && port <= hi) {
+      const PortMatch m{u32{hi} - lo + 1, lo == hi, label};
+      if (!found || m.before(best)) {
+        best = m;
+        found = true;
+      }
+    }
+  }
+  return found ? best.label : Label{};
 }
 
 }  // namespace pclass::alg

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "hwsim/register_file.hpp"
 #include "hwsim/update_bus.hpp"
@@ -56,8 +57,12 @@ class PortRegisterFile {
   [[nodiscard]] std::vector<Label> lookup(u16 port,
                                           hw::CycleRecorder* rec) const;
 
+  /// Allocation-free lookup(): appends the Table IV-ordered labels into
+  /// caller-owned scratch (the classifier's per-packet hot path).
+  void lookup_into(u16 port, hw::CycleRecorder* rec, LabelVec& out) const;
+
   /// First (highest-priority) matching label only — what the FirstLabel
-  /// combiner consumes. Same cost as lookup().
+  /// combiner consumes. Same cost as lookup(); no allocation.
   [[nodiscard]] Label lookup_first(u16 port, hw::CycleRecorder* rec) const;
 
   // ---- introspection ----

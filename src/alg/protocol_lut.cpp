@@ -66,7 +66,13 @@ void ProtocolLut::clear(hw::CommandLog& log) {
 
 std::vector<Label> ProtocolLut::lookup(u8 proto,
                                        hw::CycleRecorder* rec) const {
-  std::vector<Label> out;
+  LabelVec scratch;
+  lookup_into(proto, rec, scratch);
+  return std::vector<Label>(scratch.begin(), scratch.end());
+}
+
+void ProtocolLut::lookup_into(u8 proto, hw::CycleRecorder* rec,
+                              LabelVec& out) const {
   hw::WordUnpacker u(lut_.read(proto, rec));
   if (u.pull(1) != 0) {
     out.push_back(Label{static_cast<u16>(u.pull(kProtoLabelBits))});
@@ -76,12 +82,18 @@ std::vector<Label> ProtocolLut::lookup(u8 proto,
   if (w.pull(1) != 0) {
     out.push_back(Label{static_cast<u16>(w.pull(kProtoLabelBits))});
   }
-  return out;
 }
 
 Label ProtocolLut::lookup_first(u8 proto, hw::CycleRecorder* rec) const {
-  const std::vector<Label> all = lookup(proto, rec);
-  return all.empty() ? Label{} : all.front();
+  hw::WordUnpacker u(lut_.read(proto, rec));
+  if (u.pull(1) != 0) {
+    return Label{static_cast<u16>(u.pull(kProtoLabelBits))};
+  }
+  hw::WordUnpacker w(wc_reg_.reg(0));
+  if (w.pull(1) != 0) {
+    return Label{static_cast<u16>(w.pull(kProtoLabelBits))};
+  }
+  return Label{};
 }
 
 }  // namespace pclass::alg

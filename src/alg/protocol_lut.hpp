@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "hwsim/memory.hpp"
 #include "hwsim/register_file.hpp"
@@ -46,6 +47,9 @@ class ProtocolLut {
   /// Matching labels for protocol byte \p proto: [exact?, wildcard?].
   [[nodiscard]] std::vector<Label> lookup(u8 proto,
                                           hw::CycleRecorder* rec) const;
+
+  /// Allocation-free lookup() into caller-owned scratch.
+  void lookup_into(u8 proto, hw::CycleRecorder* rec, LabelVec& out) const;
 
   [[nodiscard]] Label lookup_first(u8 proto, hw::CycleRecorder* rec) const;
 

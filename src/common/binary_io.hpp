@@ -1,0 +1,54 @@
+/// \file binary_io.hpp
+/// Fixed-width little-endian stream primitives shared by every versioned
+/// binary format in the repository (PCT1 traces, PCR1 rulesets). One
+/// codec, one place: the byte layout is what the workload determinism
+/// tests assert on, so it must not be able to drift between formats.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pclass::binary {
+
+inline void put_u8(std::ostream& os, u8 v) {
+  os.put(static_cast<char>(v));
+}
+inline void put_u16(std::ostream& os, u16 v) {
+  put_u8(os, static_cast<u8>(v & 0xFF));
+  put_u8(os, static_cast<u8>(v >> 8));
+}
+inline void put_u32(std::ostream& os, u32 v) {
+  put_u16(os, static_cast<u16>(v & 0xFFFF));
+  put_u16(os, static_cast<u16>(v >> 16));
+}
+inline void put_u64(std::ostream& os, u64 v) {
+  put_u32(os, static_cast<u32>(v & 0xFFFFFFFFu));
+  put_u32(os, static_cast<u32>(v >> 32));
+}
+
+/// \throws ParseError mentioning \p what on EOF.
+inline u8 get_u8(std::istream& is, const char* what) {
+  const int c = is.get();
+  if (c == std::char_traits<char>::eof()) {
+    throw ParseError(std::string(what) + ": truncated input");
+  }
+  return static_cast<u8>(c);
+}
+inline u16 get_u16(std::istream& is, const char* what) {
+  const u16 lo = get_u8(is, what);
+  return static_cast<u16>(lo | (u16{get_u8(is, what)} << 8));
+}
+inline u32 get_u32(std::istream& is, const char* what) {
+  const u32 lo = get_u16(is, what);
+  return lo | (u32{get_u16(is, what)} << 16);
+}
+inline u64 get_u64(std::istream& is, const char* what) {
+  const u64 lo = get_u32(is, what);
+  return lo | (u64{get_u32(is, what)} << 32);
+}
+
+}  // namespace pclass::binary

@@ -389,7 +389,9 @@ ClassifyResult ConfigurableClassifier::classify(
   ClassifyResult out;
 
   // Phase 2: the seven dimension lookups run in parallel; each gets its
-  // own recorder, the phase costs the slowest one.
+  // own recorder, the phase costs the slowest one. All label lists live
+  // in stack scratch (SmallVec) — the steady-state lookup path performs
+  // no heap allocation.
   std::array<hw::CycleRecorder, kNumDimensions> recs;
   std::array<alg::ListRef, 4> ip_refs;
   for (usize i = 0; i < 4; ++i) {
@@ -397,12 +399,6 @@ ClassifyResult ConfigurableClassifier::classify(
         net::dimension_key(h, kIpDims[i]) & 0xFFFFu);
     ip_refs[i] = ip_lookup(i, key, &recs[index_of(kIpDims[i])]);
   }
-  const std::vector<Label> sport_labels =
-      sport_regs_->lookup(h.src_port, &recs[index_of(Dimension::kSrcPort)]);
-  const std::vector<Label> dport_labels =
-      dport_regs_->lookup(h.dst_port, &recs[index_of(Dimension::kDstPort)]);
-  const std::vector<Label> proto_labels =
-      proto_lut_->lookup(h.protocol, &recs[index_of(Dimension::kProtocol)]);
 
   hw::CycleRecorder tail;  // phases 3 + 4
   tail.charge(1, 0);       // label merge network
@@ -410,10 +406,18 @@ ClassifyResult ConfigurableClassifier::classify(
   if (cfg_.combine_mode == CombineMode::kFirstLabel) {
     // §III.B: "This combination is the product of the highest priority
     // label stored in the first position in the list of each output
-    // algorithm."
+    // algorithm." Only the first label of each dimension is needed, so
+    // no lists are materialized at all.
     std::array<Label, kNumDimensions> first{};
-    bool miss = sport_labels.empty() || dport_labels.empty() ||
-                proto_labels.empty();
+    first[index_of(Dimension::kSrcPort)] = sport_regs_->lookup_first(
+        h.src_port, &recs[index_of(Dimension::kSrcPort)]);
+    first[index_of(Dimension::kDstPort)] = dport_regs_->lookup_first(
+        h.dst_port, &recs[index_of(Dimension::kDstPort)]);
+    first[index_of(Dimension::kProtocol)] = proto_lut_->lookup_first(
+        h.protocol, &recs[index_of(Dimension::kProtocol)]);
+    bool miss = !first[index_of(Dimension::kSrcPort)].valid() ||
+                !first[index_of(Dimension::kDstPort)].valid() ||
+                !first[index_of(Dimension::kProtocol)].valid();
     for (usize i = 0; i < 4 && !miss; ++i) {
       if (ip_refs[i].empty()) {
         miss = true;
@@ -423,27 +427,31 @@ ClassifyResult ConfigurableClassifier::classify(
           lists_[i]->read_first(ip_refs[i], &recs[index_of(kIpDims[i])]);
     }
     if (!miss) {
-      first[index_of(Dimension::kSrcPort)] = sport_labels.front();
-      first[index_of(Dimension::kDstPort)] = dport_labels.front();
-      first[index_of(Dimension::kProtocol)] = proto_labels.front();
       out.crossproduct_probes = 1;
       out.match = rule_filter_->lookup(Key68::merge(first), &tail);
     }
   } else {
     // CrossProduct: enumerate the product of the (short) label lists and
     // keep the highest-priority hit — exact by construction.
-    std::array<std::vector<Label>, kNumDimensions> lists;
+    std::array<LabelVec, kNumDimensions> lists;
     bool miss = false;
     for (usize i = 0; i < 4; ++i) {
-      lists[index_of(kIpDims[i])] =
-          lists_[i]->read_list(ip_refs[i], &recs[index_of(kIpDims[i])]);
+      lists_[i]->read_list_into(ip_refs[i], &recs[index_of(kIpDims[i])],
+                                lists[index_of(kIpDims[i])]);
       if (lists[index_of(kIpDims[i])].empty()) miss = true;
     }
-    lists[index_of(Dimension::kSrcPort)] = sport_labels;
-    lists[index_of(Dimension::kDstPort)] = dport_labels;
-    lists[index_of(Dimension::kProtocol)] = proto_labels;
-    if (sport_labels.empty() || dport_labels.empty() ||
-        proto_labels.empty()) {
+    sport_regs_->lookup_into(h.src_port,
+                             &recs[index_of(Dimension::kSrcPort)],
+                             lists[index_of(Dimension::kSrcPort)]);
+    dport_regs_->lookup_into(h.dst_port,
+                             &recs[index_of(Dimension::kDstPort)],
+                             lists[index_of(Dimension::kDstPort)]);
+    proto_lut_->lookup_into(h.protocol,
+                            &recs[index_of(Dimension::kProtocol)],
+                            lists[index_of(Dimension::kProtocol)]);
+    if (lists[index_of(Dimension::kSrcPort)].empty() ||
+        lists[index_of(Dimension::kDstPort)].empty() ||
+        lists[index_of(Dimension::kProtocol)].empty()) {
       miss = true;
     }
 

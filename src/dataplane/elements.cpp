@@ -137,6 +137,7 @@ void ClassifierElement::push_batch(net::PacketBatch& batch) {
     const core::ClassifyResult& r = res_[k];
     m.resolved = true;
     m.lookup_cycles += r.cycles;
+    m.memory_accesses += r.memory_accesses;
     if (r.match) {
       m.matched = true;
       m.rule = r.match->rule;
@@ -158,6 +159,7 @@ void ActionSink::push_batch(net::PacketBatch& batch) {
     const net::PacketMeta& m = batch.meta(i);
     ++packets_;
     latency_.record(m.lookup_cycles);
+    memory_accesses_ += m.memory_accesses;
     if (m.from_cache) ++cache_hits_;
     if (!m.matched) {
       ++dropped_;  // parse error or table miss: default drop

@@ -211,6 +211,10 @@ class ActionSink : public Element {
   [[nodiscard]] u64 forwarded() const { return forwarded_; }
   [[nodiscard]] u64 cache_hits() const { return cache_hits_; }
   [[nodiscard]] u64 batches() const { return batches_; }
+  /// Modelled block-memory reads this worker's lookups performed,
+  /// accumulated from per-packet CycleRecorder charges (the per-worker
+  /// replacement for the old shared hw::Memory read counters).
+  [[nodiscard]] u64 memory_accesses() const { return memory_accesses_; }
   [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
 
  private:
@@ -220,6 +224,7 @@ class ActionSink : public Element {
   u64 forwarded_ = 0;
   u64 cache_hits_ = 0;
   u64 batches_ = 0;
+  u64 memory_accesses_ = 0;
   LatencyHistogram latency_;
 };
 

@@ -91,6 +91,7 @@ struct WorkerReport {
   u64 cache_hits = 0;
   u64 cache_misses = 0;
   u64 classifier_lookups = 0;  ///< full 4-phase lookups (cache misses)
+  u64 memory_accesses = 0;     ///< modelled block-memory reads (per-worker)
   u64 min_version = 0;   ///< lowest rule-program version observed
   u64 max_version = 0;   ///< highest rule-program version observed
   bool version_monotonic = true;  ///< versions never went backwards

@@ -30,14 +30,13 @@ Word Memory::read(u32 addr, CycleRecorder* rec) const {
   check_addr(addr);
   if (rec != nullptr) {
     rec->charge(read_cycles_, 1);
-    reads_.fetch_add(1, std::memory_order_relaxed);
   }
   return data_[addr];
 }
 
 void Memory::write(u32 addr, Word value) {
   check_addr(addr);
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  ++writes_;
   data_[addr] = value;
   used_words_ = std::max<u64>(used_words_, u64{addr} + 1);
 }

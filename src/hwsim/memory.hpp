@@ -5,7 +5,6 @@
 /// accesses" columns are *measured* quantities.
 #pragma once
 
-#include <atomic>
 #include <string>
 #include <vector>
 
@@ -16,9 +15,12 @@
 
 namespace pclass::hw {
 
-/// Lifetime access statistics of one memory block.
+/// Lifetime statistics of one memory block's *update path*. Lookup-path
+/// reads are deliberately not tracked here: they are charged into the
+/// caller's CycleRecorder, which travels the lookup path per worker, so
+/// N dataplane workers reading one frozen snapshot never contend on a
+/// shared counter cache line (they used to, via relaxed fetch_adds).
 struct MemoryStats {
-  u64 reads = 0;
   u64 writes = 0;
 };
 
@@ -61,13 +63,9 @@ class Memory {
   void clear();
 
   [[nodiscard]] MemoryStats stats() const {
-    return MemoryStats{reads_.load(std::memory_order_relaxed),
-                       writes_.load(std::memory_order_relaxed)};
+    return MemoryStats{writes_};
   }
-  void reset_stats() {
-    reads_.store(0, std::memory_order_relaxed);
-    writes_.store(0, std::memory_order_relaxed);
-  }
+  void reset_stats() { writes_ = 0; }
 
  private:
   void check_addr(u32 addr) const;
@@ -78,11 +76,10 @@ class Memory {
   unsigned read_cycles_;
   std::vector<Word> data_;
   u64 used_words_ = 0;
-  // Relaxed atomics: the lookup path is const but metered, and dataplane
-  // workers read one frozen snapshot concurrently — counters must not be
-  // a data race. Ordering carries no meaning, only the totals do.
-  mutable std::atomic<u64> reads_{0};
-  std::atomic<u64> writes_{0};
+  // Plain counter: writes happen only on the serialized update path
+  // (the publisher holds the writer lock; a replica is never written
+  // while readers hold it). The read path keeps no shared state at all.
+  u64 writes_ = 0;
 };
 
 }  // namespace pclass::hw

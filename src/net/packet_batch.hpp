@@ -37,6 +37,7 @@ struct PacketMeta {
   Priority priority = kNoPriority;
   u32 action_token = 0;            ///< classifier action word
   u64 lookup_cycles = 0;           ///< modelled device cycles spent
+  u64 memory_accesses = 0;         ///< modelled block-memory reads spent
 };
 
 /// A bounded, reusable batch of packets.

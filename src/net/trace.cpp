@@ -1,10 +1,12 @@
 #include "net/trace.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
 
+#include "common/binary_io.hpp"
 #include "common/error.hpp"
 
 namespace pclass::net {
@@ -19,6 +21,65 @@ void Trace::write(std::ostream& os) const {
     }
     os << '\n';
   }
+}
+
+namespace {
+
+constexpr u32 kTraceMagic = 0x31544350u;  // "PCT1" little-endian
+constexpr u16 kTraceVersion = 1;
+constexpr const char* kWhat = "binary trace";
+
+}  // namespace
+
+void Trace::write_binary(std::ostream& os) const {
+  using namespace binary;
+  put_u32(os, kTraceMagic);
+  put_u16(os, kTraceVersion);
+  put_u16(os, 0);  // reserved
+  put_u64(os, entries_.size());
+  for (const TraceEntry& e : entries_) {
+    put_u32(os, e.header.src_ip);
+    put_u32(os, e.header.dst_ip);
+    put_u16(os, e.header.src_port);
+    put_u16(os, e.header.dst_port);
+    put_u8(os, e.header.protocol);
+    put_u8(os, e.origin_rule.has_value() ? 1 : 0);
+    put_u32(os, e.origin_rule.has_value() ? e.origin_rule->value : 0);
+  }
+}
+
+Trace Trace::read_binary(std::istream& is) {
+  using namespace binary;
+  if (get_u32(is, kWhat) != kTraceMagic) {
+    throw ParseError("binary trace: bad magic (not a PCT1 file)");
+  }
+  const u16 version = get_u16(is, kWhat);
+  if (version != kTraceVersion) {
+    throw ParseError("binary trace: unsupported version " +
+                     std::to_string(version));
+  }
+  (void)get_u16(is, kWhat);  // reserved
+  const u64 count = get_u64(is, kWhat);
+  std::vector<TraceEntry> entries;
+  // The count comes from untrusted bytes: cap the pre-reserve so a
+  // corrupt header cannot force a huge allocation — a lying count then
+  // fails with the truncation ParseError below, as intended.
+  entries.reserve(std::min<u64>(count, 1u << 20));
+  for (u64 i = 0; i < count; ++i) {
+    TraceEntry e;
+    e.header.src_ip = get_u32(is, kWhat);
+    e.header.dst_ip = get_u32(is, kWhat);
+    e.header.src_port = get_u16(is, kWhat);
+    e.header.dst_port = get_u16(is, kWhat);
+    e.header.protocol = get_u8(is, kWhat);
+    const u8 has_origin = get_u8(is, kWhat);
+    const u32 rid = get_u32(is, kWhat);
+    if (has_origin != 0) {
+      e.origin_rule = RuleId{rid};
+    }
+    entries.push_back(e);
+  }
+  return Trace{std::move(entries)};
 }
 
 Trace Trace::read(std::istream& is) {

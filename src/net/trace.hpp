@@ -45,6 +45,15 @@ class Trace {
   /// Parse a ClassBench-format trace. \throws ParseError on bad input.
   [[nodiscard]] static Trace read(std::istream& is);
 
+  /// Serialize the versioned binary trace format ("PCT1"): fixed-width
+  /// little-endian records, byte-identical for identical traces — the
+  /// representation workload determinism tests and trace archives use.
+  void write_binary(std::ostream& os) const;
+
+  /// Parse the binary trace format. \throws ParseError on bad magic,
+  /// unsupported version or truncated input.
+  [[nodiscard]] static Trace read_binary(std::istream& is);
+
  private:
   std::vector<TraceEntry> entries_;
 };

@@ -54,6 +54,19 @@ class RuleSet {
     return rules_.back();
   }
 
+  /// Append a rule exactly as given — no priority back-fill, no id
+  /// assignment. For deserialization and snapshot reconstruction, where
+  /// the stored priority/id/action are authoritative.
+  /// \throws ConfigError when the rule carries no valid id.
+  const Rule& add_verbatim(const Rule& r) {
+    if (!r.id.valid()) {
+      throw ConfigError("RuleSet::add_verbatim: rule must carry a valid id");
+    }
+    next_id_ = std::max(next_id_, r.id.value + 1);
+    rules_.push_back(r);
+    return rules_.back();
+  }
+
   /// Find by id (linear; controller-side convenience).
   [[nodiscard]] std::optional<Rule> find(RuleId id) const {
     for (const Rule& r : rules_) {

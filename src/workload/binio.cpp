@@ -1,0 +1,144 @@
+#include "workload/binio.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.hpp"
+#include "common/error.hpp"
+
+namespace pclass::workload::binio {
+
+using namespace pclass::binary;
+
+namespace {
+
+constexpr u32 kRulesetMagic = 0x31524350u;  // "PCR1" little-endian
+constexpr u16 kRulesetVersion = 1;
+constexpr const char* kWhat = "binary ruleset";
+
+}  // namespace
+
+void save_ruleset(std::ostream& os, const ruleset::RuleSet& rules) {
+  put_u32(os, kRulesetMagic);
+  put_u16(os, kRulesetVersion);
+  const std::string& name = rules.name();
+  put_u16(os, static_cast<u16>(std::min<usize>(name.size(), 0xFFFF)));
+  os.write(name.data(),
+           static_cast<std::streamsize>(std::min<usize>(name.size(),
+                                                        0xFFFF)));
+  put_u64(os, rules.size());
+  for (const ruleset::Rule& r : rules) {
+    put_u32(os, r.src_ip.value);
+    put_u8(os, r.src_ip.length);
+    put_u32(os, r.dst_ip.value);
+    put_u8(os, r.dst_ip.length);
+    put_u16(os, r.src_port.lo);
+    put_u16(os, r.src_port.hi);
+    put_u16(os, r.dst_port.lo);
+    put_u16(os, r.dst_port.hi);
+    put_u8(os, r.proto.value);
+    put_u8(os, r.proto.wildcard ? 1 : 0);
+    put_u32(os, r.priority);
+    put_u32(os, r.id.value);
+    put_u32(os, r.action.token);
+  }
+}
+
+ruleset::RuleSet load_ruleset(std::istream& is) {
+  if (get_u32(is, kWhat) != kRulesetMagic) {
+    throw ParseError("binary ruleset: bad magic (not a PCR1 file)");
+  }
+  const u16 version = get_u16(is, kWhat);
+  if (version != kRulesetVersion) {
+    throw ParseError("binary ruleset: unsupported version " +
+                     std::to_string(version));
+  }
+  const u16 name_len = get_u16(is, kWhat);
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  if (is.gcount() != name_len) {
+    throw ParseError("binary ruleset: truncated name");
+  }
+  const u64 count = get_u64(is, kWhat);
+  ruleset::RuleSet out(std::move(name));
+  for (u64 i = 0; i < count; ++i) {
+    ruleset::Rule r;
+    const u32 src_v = get_u32(is, kWhat);
+    const u8 src_l = get_u8(is, kWhat);
+    const u32 dst_v = get_u32(is, kWhat);
+    const u8 dst_l = get_u8(is, kWhat);
+    r.src_ip = ruleset::IpPrefix::make(src_v, src_l);  // validates length
+    r.dst_ip = ruleset::IpPrefix::make(dst_v, dst_l);
+    const u16 slo = get_u16(is, kWhat);
+    const u16 shi = get_u16(is, kWhat);
+    const u16 dlo = get_u16(is, kWhat);
+    const u16 dhi = get_u16(is, kWhat);
+    r.src_port = ruleset::PortRange::make(slo, shi);  // validates lo<=hi
+    r.dst_port = ruleset::PortRange::make(dlo, dhi);
+    const u8 proto_v = get_u8(is, kWhat);
+    const u8 proto_wc = get_u8(is, kWhat);
+    r.proto = proto_wc != 0 ? ruleset::ProtoMatch::any()
+                            : ruleset::ProtoMatch::exact(proto_v);
+    r.priority = get_u32(is, kWhat);
+    r.id = RuleId{get_u32(is, kWhat)};
+    r.action = ruleset::Action{get_u32(is, kWhat)};
+    // Stored priority/id/action are authoritative: restore verbatim so
+    // RuleSet::add()'s position-based priority back-fill cannot rewrite
+    // an explicit front-priority (0) rule at a non-front position.
+    out.add_verbatim(r);
+  }
+  return out;
+}
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw Error("binio: cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("binio: cannot open for reading: " + path);
+  return is;
+}
+
+}  // namespace
+
+void save_ruleset_file(const std::string& path,
+                       const ruleset::RuleSet& rules) {
+  auto os = open_out(path);
+  save_ruleset(os, rules);
+  if (!os) throw Error("binio: write failed: " + path);
+}
+
+ruleset::RuleSet load_ruleset_file(const std::string& path) {
+  auto is = open_in(path);
+  return load_ruleset(is);
+}
+
+void save_trace_file(const std::string& path, const net::Trace& trace) {
+  auto os = open_out(path);
+  trace.write_binary(os);
+  if (!os) throw Error("binio: write failed: " + path);
+}
+
+net::Trace load_trace_file(const std::string& path) {
+  auto is = open_in(path);
+  return net::Trace::read_binary(is);
+}
+
+std::string ruleset_bytes(const ruleset::RuleSet& rules) {
+  std::ostringstream ss(std::ios::binary);
+  save_ruleset(ss, rules);
+  return std::move(ss).str();
+}
+
+std::string trace_bytes(const net::Trace& trace) {
+  std::ostringstream ss(std::ios::binary);
+  trace.write_binary(ss);
+  return std::move(ss).str();
+}
+
+}  // namespace pclass::workload::binio

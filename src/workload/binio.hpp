@@ -1,0 +1,45 @@
+/// \file binio.hpp
+/// Versioned binary save/load for workload artifacts.
+///
+/// Two formats, each with a 4-byte magic, a u16 version and fixed-width
+/// little-endian payloads (byte-stable across hosts):
+///
+///   * "PCR1" — rule sets: full match part, priority, id and action per
+///     rule (the text ClassBench format drops ids and actions; the
+///     binary format round-trips everything).
+///   * "PCT1" — traces: owned by net::Trace::{write,read}_binary; the
+///     helpers here add the file-path layer.
+///
+/// Same seed => byte-identical files: the determinism tests compare
+/// these serializations directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/trace.hpp"
+#include "ruleset/rule_set.hpp"
+
+namespace pclass::workload::binio {
+
+/// Serialize a rule set ("PCR1").
+void save_ruleset(std::ostream& os, const ruleset::RuleSet& rules);
+
+/// Parse a binary rule set. \throws ParseError on bad magic/version or
+/// truncated/invalid input.
+[[nodiscard]] ruleset::RuleSet load_ruleset(std::istream& is);
+
+// ---- file-path conveniences (open in binary mode, throw on IO error) ----
+
+void save_ruleset_file(const std::string& path,
+                       const ruleset::RuleSet& rules);
+[[nodiscard]] ruleset::RuleSet load_ruleset_file(const std::string& path);
+
+void save_trace_file(const std::string& path, const net::Trace& trace);
+[[nodiscard]] net::Trace load_trace_file(const std::string& path);
+
+/// In-memory serialization (determinism checks compare these strings).
+[[nodiscard]] std::string ruleset_bytes(const ruleset::RuleSet& rules);
+[[nodiscard]] std::string trace_bytes(const net::Trace& trace);
+
+}  // namespace pclass::workload::binio

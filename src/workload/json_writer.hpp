@@ -1,0 +1,159 @@
+/// \file json_writer.hpp
+/// Minimal streaming JSON emitter for machine-readable reports
+/// (BENCH_scenarios.json). No DOM, no dependencies; handles string
+/// escaping, comma placement and locale-independent number formatting.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pclass::workload {
+
+/// Streaming writer: begin_object()/key()/value()/end_object() etc.
+/// Misuse (value without key inside an object, unbalanced end) throws
+/// InternalError — report code is trusted, but fail loudly.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() {
+    prefix();
+    os_ << '{';
+    stack_.push_back({true, false});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    pop(true);
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    prefix();
+    os_ << '[';
+    stack_.push_back({false, false});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    pop(false);
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    if (stack_.empty() || !stack_.back().object) {
+      throw InternalError("JsonWriter: key() outside an object");
+    }
+    comma();
+    write_string(k);
+    os_ << ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    prefix();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    prefix();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(u64 v) {
+    prefix();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(i64 v) {
+    prefix();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(double v) {
+    prefix();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // JSON has no NaN/Inf
+      return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os_ << buf;
+    return *this;
+  }
+
+  /// True once every container has been closed.
+  [[nodiscard]] bool complete() const { return stack_.empty(); }
+
+ private:
+  struct Frame {
+    bool object;
+    bool has_items;
+  };
+
+  void comma() {
+    if (!stack_.empty() && stack_.back().has_items) {
+      os_ << ',';
+    }
+    if (!stack_.empty()) {
+      stack_.back().has_items = true;
+    }
+  }
+
+  /// Emitted before any value/container: a comma in arrays, nothing
+  /// after a key (the key already placed the comma).
+  void prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty() && stack_.back().object) {
+      throw InternalError("JsonWriter: value in object without key()");
+    }
+    comma();
+  }
+
+  void pop(bool object) {
+    if (pending_key_ || stack_.empty() ||
+        stack_.back().object != object) {
+      throw InternalError("JsonWriter: unbalanced end");
+    }
+    stack_.pop_back();
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pclass::workload

@@ -1,0 +1,187 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "net/packet.hpp"
+
+namespace pclass::workload {
+
+u8 PrefixLengthMix::draw(Rng& rng) const {
+  if (entries.empty()) {
+    throw ConfigError("PrefixLengthMix: empty mix");
+  }
+  double total = 0;
+  for (const auto& [len, w] : entries) total += w;
+  double u = rng.uniform() * total;
+  for (const auto& [len, w] : entries) {
+    if (u < w) return len;
+    u -= w;
+  }
+  return entries.back().first;
+}
+
+namespace {
+
+void check_fraction(double v, const char* what) {
+  if (v < 0.0 || v > 1.0) {
+    throw ConfigError(std::string(what) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+std::vector<ProtoWeight> RulesetProfile::default_protos(double wc_weight) {
+  std::vector<ProtoWeight> p = {{net::kProtoTcp, false, 0.62},
+                                {net::kProtoUdp, false, 0.24},
+                                {net::kProtoIcmp, false, 0.06}};
+  if (wc_weight > 0) {
+    p.push_back({0, true, wc_weight});
+  }
+  return p;
+}
+
+void RulesetProfile::validate() const {
+  if (rules == 0) throw ConfigError("RulesetProfile: rules must be > 0");
+  if (src_ip_pool == 0 || dst_ip_pool == 0 || src_port_pool == 0 ||
+      dst_port_pool == 0) {
+    throw ConfigError("RulesetProfile: pool sizes must be > 0");
+  }
+  if (src_len.entries.empty() || dst_len.entries.empty()) {
+    throw ConfigError("RulesetProfile: prefix-length mixes must be set");
+  }
+  for (const auto& mix : {src_len, dst_len}) {
+    for (const auto& [len, w] : mix.entries) {
+      if (len > 32 || w < 0) {
+        throw ConfigError("RulesetProfile: bad prefix-length mix entry");
+      }
+    }
+  }
+  if (subnets_per_site == 0) {
+    throw ConfigError("RulesetProfile: subnets_per_site must be > 0");
+  }
+  check_fraction(pair_correlation, "RulesetProfile: pair_correlation");
+  check_fraction(overlap_fraction, "RulesetProfile: overlap_fraction");
+  if (ip_skew < 0 || port_skew < 0) {
+    throw ConfigError("RulesetProfile: skews must be >= 0");
+  }
+}
+
+RulesetProfile RulesetProfile::acl(usize rules, u64 seed) {
+  RulesetProfile p;
+  p.name = "acl";
+  p.rules = rules;
+  p.seed = seed;
+  // ACL shape: host-heavy sources, subnet destinations, wildcard source
+  // port, mostly-exact destination ports, almost no protocol wildcard.
+  p.src_len.entries = {{32, 0.52}, {28, 0.12}, {24, 0.22}, {16, 0.10},
+                       {8, 0.04}};
+  p.dst_len.entries = {{32, 0.34}, {28, 0.08}, {24, 0.26}, {16, 0.22},
+                       {8, 0.10}};
+  p.src_ip_pool = std::max<usize>(32, rules / 8);
+  p.dst_ip_pool = std::max<usize>(48, rules / 6);
+  p.src_port_pool = 1;  // wildcard-only, the acl1 signature
+  p.dst_port_pool = std::clamp<usize>(rules / 12, 32, 100);
+  p.sport = {1.0, 0.0, 0.0};
+  p.dport = {0.08, 0.72, 0.20};
+  p.protos = default_protos(0.0);
+  p.pair_correlation = 0.55;
+  p.pair_pool = std::max<usize>(16, rules / 24);
+  p.overlap_fraction = 0.20;
+  return p;
+}
+
+RulesetProfile RulesetProfile::fw(usize rules, u64 seed) {
+  RulesetProfile p;
+  p.name = "fw";
+  p.rules = rules;
+  p.seed = seed;
+  // FW shape: shorter prefixes, wildcards on both sides, bidirectional
+  // port ranges, protocol wildcards common.
+  p.src_len.entries = {{32, 0.22}, {24, 0.30}, {16, 0.26}, {8, 0.12},
+                       {0, 0.10}};
+  p.dst_len.entries = {{32, 0.28}, {24, 0.28}, {16, 0.24}, {8, 0.12},
+                       {0, 0.08}};
+  p.src_ip_pool = std::max<usize>(24, rules / 9);
+  p.dst_ip_pool = std::max<usize>(24, rules / 12);
+  p.src_port_pool = std::clamp<usize>(rules / 36, 12, 64);
+  p.dst_port_pool = std::clamp<usize>(rules / 24, 24, 100);
+  p.sport = {0.42, 0.28, 0.30};
+  p.dport = {0.22, 0.38, 0.40};
+  p.protos = default_protos(0.14);
+  p.pair_correlation = 0.35;
+  p.pair_pool = std::max<usize>(12, rules / 40);
+  p.overlap_fraction = 0.40;  // firewalls nest aggressively
+  return p;
+}
+
+RulesetProfile RulesetProfile::ipc(usize rules, u64 seed) {
+  RulesetProfile p;
+  p.name = "ipc";
+  p.rules = rules;
+  p.seed = seed;
+  // IPC shape: between ACL and FW; correlated endpoint pairs dominate.
+  p.src_len.entries = {{32, 0.34}, {24, 0.28}, {16, 0.22}, {8, 0.10},
+                       {0, 0.06}};
+  p.dst_len.entries = {{32, 0.30}, {24, 0.30}, {16, 0.24}, {8, 0.10},
+                       {0, 0.06}};
+  p.src_ip_pool = std::max<usize>(28, rules / 7);
+  p.dst_ip_pool = std::max<usize>(32, rules / 6);
+  p.src_port_pool = std::clamp<usize>(rules / 50, 10, 64);
+  p.dst_port_pool = std::clamp<usize>(rules / 16, 28, 100);
+  p.sport = {0.50, 0.34, 0.16};
+  p.dport = {0.14, 0.60, 0.26};
+  p.protos = default_protos(0.10);
+  p.pair_correlation = 0.65;
+  p.pair_pool = std::max<usize>(20, rules / 20);
+  p.overlap_fraction = 0.28;
+  return p;
+}
+
+RulesetProfile RulesetProfile::by_family(const std::string& family,
+                                         usize rules, u64 seed) {
+  if (family == "acl") return acl(rules, seed);
+  if (family == "fw") return fw(rules, seed);
+  if (family == "ipc") return ipc(rules, seed);
+  throw ConfigError("RulesetProfile: unknown family '" + family +
+                    "' (expected acl/fw/ipc)");
+}
+
+void TraceProfile::validate() const {
+  if (packets == 0) throw ConfigError("TraceProfile: packets must be > 0");
+  if (flows == 0) throw ConfigError("TraceProfile: flows must be > 0");
+  if (zipf_s < 0) throw ConfigError("TraceProfile: zipf_s must be >= 0");
+  check_fraction(locality, "TraceProfile: locality");
+  check_fraction(miss_fraction, "TraceProfile: miss_fraction");
+  if (working_set == 0) {
+    throw ConfigError("TraceProfile: working_set must be > 0");
+  }
+}
+
+TraceProfile TraceProfile::standard(usize packets, u64 seed) {
+  TraceProfile t;
+  t.name = "standard";
+  t.packets = packets;
+  t.flows = std::max<usize>(64, packets / 12);
+  t.zipf_s = 1.05;
+  t.locality = 0.6;
+  t.working_set = 16;
+  t.miss_fraction = 0.05;
+  t.seed = seed;
+  return t;
+}
+
+TraceProfile TraceProfile::zipf_heavy(usize packets, u64 seed) {
+  TraceProfile t;
+  t.name = "zipf-heavy";
+  t.packets = packets;
+  t.flows = std::max<usize>(64, packets / 25);
+  t.zipf_s = 1.35;
+  t.locality = 0.85;
+  t.working_set = 8;
+  t.miss_fraction = 0.01;
+  t.seed = seed;
+  return t;
+}
+
+}  // namespace pclass::workload

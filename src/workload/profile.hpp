@@ -1,0 +1,140 @@
+/// \file profile.hpp
+/// Workload profiles: the knobs that shape synthetic rulesets and traces.
+///
+/// A RulesetProfile describes the *structure* of a filter set the way
+/// ClassBench seed files do — prefix-length and branching distributions,
+/// unique-value pool sizes, port match classes (WC/EQ/RANGE), protocol
+/// mix, correlated src/dst prefix pairs and a rule-overlap target — so
+/// the same synthesizer can produce ACL-, FW- and IPC-shaped sets as
+/// well as fully custom ones. A TraceProfile describes the *traffic*
+/// offered to the classifier: flow count, Zipf flow popularity, flow
+/// locality (bursts) and a miss fraction.
+///
+/// Everything here is plain data; synthesis lives in ruleset_synth.hpp
+/// and trace_synth.hpp. All generation is deterministic in
+/// (profile, seed).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "ruleset/rule_set.hpp"
+
+namespace pclass::workload {
+
+/// Weighted prefix-length distribution (weights need not sum to 1; they
+/// are normalized by draw()).
+struct PrefixLengthMix {
+  std::vector<std::pair<u8, double>> entries;  ///< (length, weight)
+
+  /// Draw one length. \throws ConfigError if the mix is empty.
+  [[nodiscard]] u8 draw(Rng& rng) const;
+};
+
+/// Port match classes, ClassBench's WC/EQ/RANGE taxonomy. Weights are
+/// normalized by the synthesizer.
+struct PortClassMix {
+  double wc = 0.2;     ///< full wildcard [0, 65535]
+  double eq = 0.6;     ///< exact port (EM)
+  double range = 0.2;  ///< proper range (classic service / ephemeral spans)
+};
+
+/// One entry of the protocol mix.
+struct ProtoWeight {
+  u8 value = 0;        ///< IP protocol number (ignored when wildcard)
+  bool wildcard = false;
+  double weight = 1.0;
+};
+
+/// Structural description of a synthetic filter set.
+struct RulesetProfile {
+  std::string name = "custom";
+  usize rules = 1000;  ///< target size after dedup
+
+  // ---- unique-value pools (Table II-style calibration) ----
+  usize src_ip_pool = 160;
+  usize dst_ip_pool = 220;
+  /// 1 means the dimension is wildcard-only (acl1's source port).
+  usize src_port_pool = 24;
+  usize dst_port_pool = 64;
+
+  // ---- address-space branching ----
+  PrefixLengthMix src_len;
+  PrefixLengthMix dst_len;
+  /// /24 subnets carved out of each /16 site block; with the pool size
+  /// this controls trie branching (few sites = deep shared paths).
+  usize subnets_per_site = 4;
+
+  // ---- field-class mixes ----
+  PortClassMix sport;
+  PortClassMix dport;
+  std::vector<ProtoWeight> protos;  ///< empty = default TCP/UDP/ICMP mix
+
+  // ---- correlation and overlap structure ----
+  /// Draw skew over the pools (higher = popular values dominate).
+  double ip_skew = 1.5;
+  double port_skew = 3.0;
+  /// Fraction of rules whose (src, dst) prefixes come from a correlated
+  /// pair pool — real sets repeat service endpoint pairs, which is what
+  /// makes cross-field structure (and many-field lookups) non-uniform.
+  double pair_correlation = 0.5;
+  usize pair_pool = 48;  ///< distinct correlated (src, dst) pairs
+  /// Target fraction of rules synthesized as *specializations* of an
+  /// earlier rule (nested prefixes / narrowed ports), guaranteeing at
+  /// least this much pairwise rule overlap.
+  double overlap_fraction = 0.25;
+
+  u64 seed = 2026;
+
+  /// Validate ranges (pool sizes > 0, fractions in [0,1], mixes usable).
+  /// \throws ConfigError with the offending field.
+  void validate() const;
+
+  // ---- seed profiles (ClassBench ACL/FW/IPC shapes) ----
+  [[nodiscard]] static RulesetProfile acl(usize rules, u64 seed = 2026);
+  [[nodiscard]] static RulesetProfile fw(usize rules, u64 seed = 2026);
+  [[nodiscard]] static RulesetProfile ipc(usize rules, u64 seed = 2026);
+
+  /// Seed profile by family name ("acl" / "fw" / "ipc").
+  /// \throws ConfigError for unknown names.
+  [[nodiscard]] static RulesetProfile by_family(const std::string& family,
+                                               usize rules,
+                                               u64 seed = 2026);
+
+  /// The default TCP/UDP/ICMP mix, with \p wc_weight of protocol
+  /// wildcards (0 = none). The single source of the default weights —
+  /// the seed profiles and the synthesizer's empty-mix fallback share it.
+  [[nodiscard]] static std::vector<ProtoWeight> default_protos(
+      double wc_weight);
+};
+
+/// Structural description of an offered-traffic trace.
+struct TraceProfile {
+  std::string name = "standard";
+  usize packets = 50'000;
+  /// Distinct flows; each flow is one concrete header derived from a
+  /// rule (so match structure is realistic, not uniform noise).
+  usize flows = 4096;
+  /// Zipf popularity exponent across flows (0 = uniform, ~1 = web-like).
+  double zipf_s = 1.05;
+  /// Probability the next packet repeats a flow from the recent working
+  /// set instead of an independent Zipf draw — temporal locality/bursts.
+  double locality = 0.6;
+  usize working_set = 16;  ///< burst working-set size (flows)
+  /// Fraction of headers drawn uniformly at random (miss traffic).
+  double miss_fraction = 0.02;
+  u64 seed = 99;
+
+  /// \throws ConfigError on out-of-range fields.
+  void validate() const;
+
+  /// The bench default: moderate skew and locality, small miss share.
+  [[nodiscard]] static TraceProfile standard(usize packets, u64 seed);
+  /// Heavy-head Zipf with strong bursts (flow-cache friendly).
+  [[nodiscard]] static TraceProfile zipf_heavy(usize packets, u64 seed);
+};
+
+}  // namespace pclass::workload

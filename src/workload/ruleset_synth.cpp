@@ -1,0 +1,456 @@
+#include "workload/ruleset_synth.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "net/packet.hpp"
+
+namespace pclass::workload {
+
+using ruleset::IpPrefix;
+using ruleset::PortRange;
+using ruleset::ProtoMatch;
+using ruleset::Rule;
+using ruleset::RuleSet;
+
+namespace {
+
+/// Skewed pool index: u^ceil(skew) concentrates mass near index 0
+/// (pow-free for determinism across libm implementations).
+usize skewed_index(Rng& rng, usize pool_size, double skew) {
+  const double u = rng.uniform();
+  double x = u;
+  for (double s = 1.0; s < skew; s += 1.0) x *= u;
+  const auto idx = static_cast<usize>(x * static_cast<double>(pool_size));
+  return std::min(idx, pool_size - 1);
+}
+
+/// IP prefix pool with two-level site/subnet locality plus a containment
+/// index (which pool members nest inside which) for overlap injection.
+struct IpPool {
+  std::vector<IpPrefix> prefixes;
+  std::map<std::pair<u32, u8>, u32> index_of;
+  std::vector<std::vector<u32>> inside;  ///< strictly-contained members
+
+  [[nodiscard]] const IpPrefix& at(usize i) const { return prefixes[i]; }
+  [[nodiscard]] usize size() const { return prefixes.size(); }
+};
+
+bool prefix_contains(const IpPrefix& outer, const IpPrefix& inner) {
+  if (outer.length > inner.length) return false;
+  if (outer.length == 0) return true;
+  return ((outer.value ^ inner.value) >> (32 - outer.length)) == 0;
+}
+
+IpPool make_ip_pool(usize count, const PrefixLengthMix& mix,
+                    usize subnets_per_site, Rng& rng) {
+  IpPool pool;
+  pool.prefixes.reserve(count);
+  auto add = [&](IpPrefix p) {
+    if (pool.index_of
+            .emplace(std::pair<u32, u8>{p.value, p.length},
+                     static_cast<u32>(pool.prefixes.size()))
+            .second) {
+      pool.prefixes.push_back(p);
+    }
+  };
+
+  add(IpPrefix{});  // the wildcard is always a (popular) member
+
+  // Site blocks (/16) each carved into a few /24 subnets: the two-level
+  // locality that gives tries shared deep paths and rules natural
+  // containment chains.
+  const usize n_sites = std::max<usize>(4, count / 400);
+  std::vector<u32> subnets;
+  subnets.reserve(n_sites * subnets_per_site);
+  for (usize i = 0; i < n_sites; ++i) {
+    const u32 site = static_cast<u32>(rng.next()) & 0xFFFF0000u;
+    for (usize s = 0; s < subnets_per_site; ++s) {
+      subnets.push_back(site | ((static_cast<u32>(rng.next()) & 0xFFu) << 8));
+    }
+  }
+
+  usize guard = 0;
+  while (pool.prefixes.size() < count) {
+    if (++guard > count * 200 + 10'000) {
+      throw InternalError(
+          "workload::make_ip_pool: cannot fill pool (length mix too "
+          "narrow for requested size)");
+    }
+    const u8 len = mix.draw(rng);
+    if (len == 0) continue;  // wildcard already present
+    const u32 subnet = subnets[rng.below(subnets.size())];
+    u32 value;
+    if (len > 24) {
+      value = subnet | (static_cast<u32>(rng.next()) & 0xFFu);
+    } else if (len > 16) {
+      value = subnet;
+    } else {
+      value = subnet & 0xFFFF0000u;
+    }
+    IpPrefix cand = IpPrefix::make(value, len);
+    if (len <= 16 &&
+        pool.index_of.contains({cand.value, cand.length})) {
+      // Short-prefix slots saturate fast (few sites); spill the rest over
+      // fresh blocks so the pool reaches its calibrated size.
+      cand = IpPrefix::make(static_cast<u32>(rng.next()), len);
+    }
+    add(cand);
+  }
+
+  // Containment index (pool sizes are a few thousand at most; the n^2
+  // scan runs once per synthesis).
+  pool.inside.resize(pool.prefixes.size());
+  for (u32 i = 0; i < pool.prefixes.size(); ++i) {
+    for (u32 j = 0; j < pool.prefixes.size(); ++j) {
+      if (i != j && prefix_contains(pool.prefixes[i], pool.prefixes[j])) {
+        pool.inside[i].push_back(j);
+      }
+    }
+  }
+  return pool;
+}
+
+/// Port pool split by match class so draws can follow the WC/EQ/RANGE mix.
+struct PortPool {
+  std::vector<PortRange> all;      ///< every member (unique)
+  std::vector<u32> exact_members;  ///< indices into all
+  std::vector<u32> range_members;  ///< indices into all (proper ranges)
+  bool has_wildcard = false;
+
+  [[nodiscard]] usize size() const { return all.size(); }
+};
+
+PortPool make_port_pool(usize count, const PortClassMix& mix, Rng& rng) {
+  static constexpr u16 kWellKnown[] = {
+      80,   443,  53,   25,   110,  143,  21,   22,   23,    161,
+      389,  636,  993,  995,  8080, 8443, 3128, 3306, 5432,  1433,
+      123,  137,  139,  445,  514,  587,  631,  873,  990,   1080,
+      1521, 2049, 2181, 3389, 5060, 5900, 6379, 8000, 8888,  9090,
+      9200, 1723, 500,  4500, 179,  520,  69,   7,    11211, 27017};
+  static constexpr std::pair<u16, u16> kClassicRanges[] = {
+      {1024, 65535}, {0, 1023},      {6000, 6063},   {2300, 2400},
+      {49152, 65535}, {32768, 61000}, {5000, 5100},  {8001, 8100},
+      {20, 21},      {67, 68},       {135, 140},     {6660, 6669},
+      {1812, 1813},  {2000, 2100},   {10000, 10100}, {161, 162}};
+
+  PortPool pool;
+  std::set<std::pair<u16, u16>> seen;
+  auto add = [&](PortRange r) {
+    if (!seen.insert({r.lo, r.hi}).second) return;
+    const auto idx = static_cast<u32>(pool.all.size());
+    pool.all.push_back(r);
+    if (r.is_wildcard()) {
+      pool.has_wildcard = true;
+    } else if (r.is_exact()) {
+      pool.exact_members.push_back(idx);
+    } else {
+      pool.range_members.push_back(idx);
+    }
+  };
+
+  add(PortRange::wildcard());
+  if (count <= 1) return pool;  // wildcard-only dimension (acl1 sport)
+
+  // Split the remaining slots between exacts and ranges per the mix.
+  const double eq_w = std::max(mix.eq, 0.0);
+  const double range_w = std::max(mix.range, 0.0);
+  const double total = eq_w + range_w;
+  const usize want_ranges =
+      total <= 0 ? (count - 1) / 4
+                 : static_cast<usize>(static_cast<double>(count - 1) *
+                                      (range_w / total));
+  usize exact_i = 0, range_i = 0, ranges_added = 0;
+  usize guard = 0;
+  while (pool.all.size() < count) {
+    if (++guard > count * 64 + 10'000) {
+      throw InternalError("workload::make_port_pool: cannot fill pool");
+    }
+    const bool want_range = ranges_added < want_ranges;
+    if (want_range) {
+      const usize before = pool.all.size();
+      if (range_i < std::size(kClassicRanges)) {
+        const auto [lo, hi] = kClassicRanges[range_i++];
+        add(PortRange::make(lo, hi));
+      } else {
+        const u16 lo = static_cast<u16>(rng.between(1, 60000));
+        const u16 hi = static_cast<u16>(
+            std::min<u64>(65535, lo + rng.between(1, 2000)));
+        add(PortRange::make(lo, hi));
+      }
+      if (pool.all.size() > before) ++ranges_added;
+    } else if (exact_i < std::size(kWellKnown)) {
+      add(PortRange::exact(kWellKnown[exact_i++]));
+    } else {
+      add(PortRange::exact(static_cast<u16>(rng.between(1, 65535))));
+    }
+  }
+  return pool;
+}
+
+/// Draw one port match following the class mix; falls back across
+/// classes when a sub-pool is empty.
+PortRange draw_port(const PortPool& pool, const PortClassMix& mix,
+                    double skew, Rng& rng) {
+  if (pool.size() == 1) return pool.all.front();
+  const double wc_w = std::max(mix.wc, 0.0);
+  const double eq_w = std::max(mix.eq, 0.0);
+  const double range_w = std::max(mix.range, 0.0);
+  const double total = wc_w + eq_w + range_w;
+  double u = total <= 0 ? 0.0 : rng.uniform() * total;
+  if (pool.has_wildcard && u < wc_w) {
+    return PortRange::wildcard();
+  }
+  u -= wc_w;
+  if (u < eq_w && !pool.exact_members.empty()) {
+    const usize k = skewed_index(rng, pool.exact_members.size(), skew);
+    return pool.all[pool.exact_members[k]];
+  }
+  if (!pool.range_members.empty()) {
+    const usize k = skewed_index(rng, pool.range_members.size(), skew);
+    return pool.all[pool.range_members[k]];
+  }
+  if (!pool.exact_members.empty()) {
+    const usize k = skewed_index(rng, pool.exact_members.size(), skew);
+    return pool.all[pool.exact_members[k]];
+  }
+  return PortRange::wildcard();
+}
+
+ProtoMatch draw_proto(const std::vector<ProtoWeight>& protos, Rng& rng) {
+  double total = 0;
+  for (const ProtoWeight& p : protos) total += std::max(p.weight, 0.0);
+  if (total <= 0) return ProtoMatch::any();
+  double u = rng.uniform() * total;
+  for (const ProtoWeight& p : protos) {
+    const double w = std::max(p.weight, 0.0);
+    if (u < w) {
+      return p.wildcard ? ProtoMatch::any() : ProtoMatch::exact(p.value);
+    }
+    u -= w;
+  }
+  return ProtoMatch::any();
+}
+
+}  // namespace
+
+bool rules_overlap(const Rule& a, const Rule& b) {
+  auto prefixes_intersect = [](const IpPrefix& x, const IpPrefix& y) {
+    const u8 len = std::min(x.length, y.length);
+    if (len == 0) return true;
+    return ((x.value ^ y.value) >> (32 - len)) == 0;
+  };
+  auto ranges_intersect = [](const PortRange& x, const PortRange& y) {
+    return x.lo <= y.hi && y.lo <= x.hi;
+  };
+  auto protos_intersect = [](const ProtoMatch& x, const ProtoMatch& y) {
+    return x.wildcard || y.wildcard || x.value == y.value;
+  };
+  return prefixes_intersect(a.src_ip, b.src_ip) &&
+         prefixes_intersect(a.dst_ip, b.dst_ip) &&
+         ranges_intersect(a.src_port, b.src_port) &&
+         ranges_intersect(a.dst_port, b.dst_port) &&
+         protos_intersect(a.proto, b.proto);
+}
+
+double measured_overlap_fraction(const RuleSet& rules, usize sample_limit) {
+  if (rules.empty()) return 0.0;
+  const usize n = sample_limit == 0
+                      ? rules.size()
+                      : std::min(rules.size(), sample_limit);
+  usize overlapping = 0;
+  for (usize i = 1; i < n; ++i) {
+    for (usize j = 0; j < i; ++j) {
+      if (rules_overlap(rules[i], rules[j])) {
+        ++overlapping;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(overlapping) / static_cast<double>(n);
+}
+
+net::FiveTuple header_inside(const Rule& rule, Rng& rng) {
+  net::FiveTuple h;
+  auto draw_ip = [&](const IpPrefix& p) {
+    if (p.length >= 32) return p.value;
+    const u32 host_bits = 32 - p.length;
+    const u32 mask =
+        host_bits == 32 ? 0xFFFFFFFFu : ((u32{1} << host_bits) - 1);
+    return p.value | (static_cast<u32>(rng.next()) & mask);
+  };
+  h.src_ip = draw_ip(rule.src_ip);
+  h.dst_ip = draw_ip(rule.dst_ip);
+  h.src_port = static_cast<u16>(rng.between(rule.src_port.lo,
+                                            rule.src_port.hi));
+  h.dst_port = static_cast<u16>(rng.between(rule.dst_port.lo,
+                                            rule.dst_port.hi));
+  if (rule.proto.wildcard) {
+    static constexpr u8 kCommon[] = {net::kProtoTcp, net::kProtoUdp,
+                                     net::kProtoIcmp};
+    h.protocol = kCommon[rng.below(std::size(kCommon))];
+  } else {
+    h.protocol = rule.proto.value;
+  }
+  return h;
+}
+
+RuleSet synthesize(const RulesetProfile& profile) {
+  profile.validate();
+  RulesetProfile p = profile;
+  if (p.protos.empty()) {
+    p.protos = RulesetProfile::default_protos(0.08);
+  }
+  Rng rng(p.seed ^ mix64((u64{p.rules} << 20) ^ p.src_ip_pool ^
+                         (u64{p.dst_ip_pool} << 40)));
+
+  const IpPool src_pool =
+      make_ip_pool(p.src_ip_pool, p.src_len, p.subnets_per_site, rng);
+  const IpPool dst_pool =
+      make_ip_pool(p.dst_ip_pool, p.dst_len, p.subnets_per_site, rng);
+  const PortPool sport_pool = make_port_pool(p.src_port_pool, p.sport, rng);
+  const PortPool dport_pool = make_port_pool(p.dst_port_pool, p.dport, rng);
+
+  // Correlated endpoint pairs: a small pool of (src, dst) index pairs
+  // rules keep coming back to.
+  std::vector<std::pair<u32, u32>> pairs;
+  pairs.reserve(p.pair_pool);
+  for (usize i = 0; i < p.pair_pool; ++i) {
+    pairs.emplace_back(
+        static_cast<u32>(skewed_index(rng, src_pool.size(), p.ip_skew)),
+        static_cast<u32>(skewed_index(rng, dst_pool.size(), p.ip_skew)));
+  }
+
+  RuleSet out(p.name + "_" + std::to_string(p.rules) + "_synth");
+  std::unordered_set<u64> seen;
+  seen.reserve(p.rules * 2);
+  auto try_add = [&](const Rule& r) {
+    if (!seen.insert(ruleset::match_fingerprint(r)).second) return false;
+    Rule copy = r;
+    copy.id = RuleId{};  // fresh id (specializations copy the base rule)
+    copy.priority = static_cast<Priority>(out.size());
+    // Action tokens numerically equal to sdn::ActionSpec::output(n); the
+    // workload layer stays independent of sdn but generated sets forward.
+    copy.action =
+        ruleset::Action{(u32{1} << 14) | static_cast<u32>(out.size() % 16)};
+    out.add(copy);
+    return true;
+  };
+
+  // Phase 1 — coverage warm-up: round-robin every pool so each
+  // calibrated unique value appears in at least one rule.
+  const usize coverage =
+      std::max({src_pool.size(), dst_pool.size(), sport_pool.size(),
+                dport_pool.size(), p.protos.size()});
+  for (usize i = 0; i < coverage && out.size() < p.rules; ++i) {
+    Rule r;
+    r.src_ip = src_pool.at(i % src_pool.size());
+    r.dst_ip = dst_pool.at(i % dst_pool.size());
+    r.src_port = sport_pool.all[i % sport_pool.size()];
+    r.dst_port = dport_pool.all[i % dport_pool.size()];
+    const ProtoWeight& pw = p.protos[i % p.protos.size()];
+    r.proto = pw.wildcard ? ProtoMatch::any() : ProtoMatch::exact(pw.value);
+    try_add(r);
+  }
+
+  // Phase 2 — structured draws: overlap specializations, correlated
+  // pairs, class-mixed ports, protocol correlations.
+  usize guard = 0;
+  const usize guard_limit = p.rules * 64 + 100'000;
+  while (out.size() < p.rules) {
+    if (++guard > guard_limit) break;  // systematic fill below
+    Rule r;
+
+    const bool specialize = !out.empty() && rng.chance(p.overlap_fraction);
+    if (specialize) {
+      // Specialize an earlier rule: nest the prefixes down the pool's
+      // containment chains and/or narrow ports and protocol. The result
+      // matches a sub-region of the base rule, so the pair overlaps.
+      const Rule& base = out[rng.below(out.size())];
+      r = base;
+      bool narrowed = false;
+      auto nest_ip = [&](const IpPool& pool, IpPrefix& field) {
+        const auto it = pool.index_of.find({field.value, field.length});
+        if (it == pool.index_of.end()) return;
+        const auto& nested = pool.inside[it->second];
+        if (nested.empty()) return;
+        field = pool.at(nested[rng.below(nested.size())]);
+        narrowed = true;
+      };
+      if (rng.chance(0.7)) nest_ip(src_pool, r.src_ip);
+      if (rng.chance(0.7)) nest_ip(dst_pool, r.dst_ip);
+      if (r.src_port.is_wildcard() && !sport_pool.exact_members.empty() &&
+          rng.chance(0.5)) {
+        const auto& em = sport_pool.exact_members;
+        r.src_port = sport_pool.all[em[rng.below(em.size())]];
+        narrowed = true;
+      }
+      if (r.dst_port.is_wildcard() && !dport_pool.exact_members.empty() &&
+          (rng.chance(0.6) || !narrowed)) {
+        const auto& em = dport_pool.exact_members;
+        r.dst_port = dport_pool.all[em[rng.below(em.size())]];
+        narrowed = true;
+      }
+      if (r.proto.wildcard && (rng.chance(0.5) || !narrowed)) {
+        r.proto = ProtoMatch::exact(net::kProtoTcp);
+        narrowed = true;
+      }
+      if (!narrowed) {
+        // Base was already fully specific; fall through to a fresh draw.
+        r = Rule{};
+      } else {
+        try_add(r);
+        continue;
+      }
+    }
+
+    if (rng.chance(p.pair_correlation) && !pairs.empty()) {
+      const auto& [si, di] = pairs[rng.below(pairs.size())];
+      r.src_ip = src_pool.at(si);
+      r.dst_ip = dst_pool.at(di);
+    } else {
+      r.src_ip = src_pool.at(skewed_index(rng, src_pool.size(), p.ip_skew));
+      r.dst_ip = dst_pool.at(skewed_index(rng, dst_pool.size(), p.ip_skew));
+    }
+    r.src_port = draw_port(sport_pool, p.sport, p.port_skew, rng);
+    r.dst_port = draw_port(dport_pool, p.dport, p.port_skew, rng);
+    r.proto = draw_proto(p.protos, rng);
+    // Field correlations seen in real sets: ICMP rules carry wildcard
+    // ports; exact well-known destination ports imply TCP-ish rules.
+    if (r.proto.matches(net::kProtoIcmp) && !r.proto.wildcard) {
+      r.src_port = PortRange::wildcard();
+      r.dst_port = PortRange::wildcard();
+    } else if (r.dst_port.is_exact() && !r.dst_port.is_wildcard() &&
+               !r.proto.wildcard && rng.chance(0.8)) {
+      r.proto = ProtoMatch::exact(net::kProtoTcp);
+    }
+    try_add(r);
+  }
+
+  // Phase 3 — systematic fill (pathological profiles only): enumerate
+  // distinct (src, dst) combinations deterministically.
+  for (usize k = 0; out.size() < p.rules; ++k) {
+    if (k >= src_pool.size() * dst_pool.size()) {
+      throw InternalError(
+          "workload::synthesize: pool space exhausted before reaching "
+          "target rule count");
+    }
+    Rule r;
+    r.src_ip = src_pool.at(k % src_pool.size());
+    r.dst_ip = dst_pool.at((k / src_pool.size()) % dst_pool.size());
+    r.src_port = sport_pool.all[k % sport_pool.size()];
+    r.dst_port = dport_pool.all[k % dport_pool.size()];
+    const ProtoWeight& pw = p.protos[k % p.protos.size()];
+    r.proto = pw.wildcard ? ProtoMatch::any() : ProtoMatch::exact(pw.value);
+    try_add(r);
+  }
+
+  return out;
+}
+
+}  // namespace pclass::workload

@@ -1,0 +1,49 @@
+/// \file ruleset_synth.hpp
+/// Structural filter-set synthesis from a RulesetProfile.
+///
+/// The synthesizer extends the calibrated pool-draw scheme of
+/// ruleset::SyntheticGenerator with the structure the profiles describe:
+///
+///   * two-level address locality (/16 sites holding /24 subnets holding
+///     hosts) with pool sizes as unique-value calibration;
+///   * a correlated (src, dst) *pair pool*, so endpoint pairs repeat the
+///     way real service rules do;
+///   * port classes drawn per the WC/EQ/RANGE mix;
+///   * explicit overlap control: a profile-set fraction of rules are
+///     generated as strict specializations of an earlier rule (nested
+///     prefixes from the containment chains of the pool, narrowed
+///     ports/protocol), guaranteeing a pairwise-overlap floor.
+///
+/// Output is deterministic in (profile, profile.seed): the same profile
+/// always yields a byte-identical set (see workload::binio).
+#pragma once
+
+#include "common/random.hpp"
+#include "ruleset/rule_set.hpp"
+#include "workload/profile.hpp"
+
+namespace pclass::workload {
+
+/// Generate a filter set from \p profile.
+/// \throws ConfigError for invalid profiles; InternalError when the pool
+///         space cannot reach the target rule count.
+[[nodiscard]] ruleset::RuleSet synthesize(const RulesetProfile& profile);
+
+/// Fraction of rules whose match region intersects at least one earlier
+/// (higher-priority) rule. O(n^2) in the worst case; \p sample_limit
+/// bounds the rules examined (0 = all).
+[[nodiscard]] double measured_overlap_fraction(const ruleset::RuleSet& rules,
+                                               usize sample_limit = 0);
+
+/// True iff the two rules' match regions intersect in all five fields.
+[[nodiscard]] bool rules_overlap(const ruleset::Rule& a,
+                                 const ruleset::Rule& b);
+
+/// Synthesize one concrete header inside \p rule's match region —
+/// deterministic in \p rng. Every rule a profile generates satisfies
+/// rule.matches(header_inside(rule, rng)) (the "no empty match" validity
+/// invariant the tests assert).
+[[nodiscard]] net::FiveTuple header_inside(const ruleset::Rule& rule,
+                                           Rng& rng);
+
+}  // namespace pclass::workload

@@ -1,0 +1,359 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "baseline/linear_search.hpp"
+#include "common/error.hpp"
+#include "dataplane/engine.hpp"
+#include "workload/json_writer.hpp"
+#include "workload/ruleset_synth.hpp"
+#include "workload/trace_synth.hpp"
+
+namespace pclass::workload {
+
+namespace {
+
+using dataplane::Engine;
+using dataplane::EngineConfig;
+using dataplane::EngineReport;
+using dataplane::RuleProgramPublisher;
+using dataplane::TrafficPool;
+
+usize scaled(usize base, double scale, usize floor_value) {
+  return std::max<usize>(
+      floor_value, static_cast<usize>(static_cast<double>(base) * scale));
+}
+
+/// Copy the engine-side measurement into the result.
+void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
+  r.packets_processed = rep.packets();
+  r.matched = rep.matched();
+  r.wall_seconds = rep.wall_seconds;
+  r.mpps = rep.aggregate_mpps();
+  const auto lat = rep.merged_latency();
+  r.mean_cycles = lat.mean();
+  r.p50_cycles = lat.percentile(50);
+  r.p99_cycles = lat.percentile(99);
+  r.max_cycles = lat.max();
+  u64 hits = 0, misses = 0, min_v = 0, max_v = 0;
+  bool first = true;
+  for (const auto& w : rep.workers) {
+    hits += w.cache_hits;
+    misses += w.cache_misses;
+    r.memory_accesses += w.memory_accesses;
+    if (w.max_version == 0 && w.min_version == 0 && w.packets == 0) {
+      continue;  // idle worker: no versions observed
+    }
+    min_v = first ? w.min_version : std::min(min_v, w.min_version);
+    max_v = std::max(max_v, w.max_version);
+    first = false;
+  }
+  r.cache_hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  r.snapshot_min_version = min_v;
+  r.snapshot_max_version = max_v;
+  r.snapshot_lag = max_v >= min_v ? max_v - min_v : 0;
+  r.versions_monotonic = rep.versions_monotonic();
+  if (r.error.empty()) {
+    r.error = rep.first_error();
+  }
+}
+
+/// Re-classify every trace header against the published snapshot and
+/// compare with the linear-search ground truth over the same rules.
+void verify_oracle(ScenarioResult& r, const RuleProgramPublisher& programs,
+                   const net::Trace& trace) {
+  const auto snap = programs.acquire();
+  const auto installed = snap->classifier().installed_rules();
+  // Reconstruct verbatim: the installed priorities are authoritative
+  // (LinearSearch orders by them itself), so no back-fill may run.
+  ruleset::RuleSet oracle_rules("oracle");
+  for (const ruleset::Rule& rule : installed) {
+    oracle_rules.add_verbatim(rule);
+  }
+  const baseline::LinearSearch oracle(oracle_rules);
+  for (const auto& e : trace) {
+    const auto res = snap->classifier().classify(e.header);
+    const ruleset::Rule* want = oracle.classify(e.header, nullptr);
+    const bool agree = want == nullptr
+                           ? !res.match.has_value()
+                           : res.match && res.match->rule == want->id;
+    ++r.oracle_checked;
+    if (!agree) ++r.oracle_mismatches;
+  }
+}
+
+/// Device configuration sized for the scenario (exact lookup mode).
+core::ClassifierConfig scenario_config(const ruleset::RuleSet& rules,
+                                       usize extra_headroom) {
+  core::ClassifierConfig cfg =
+      core::ClassifierConfig::for_scale(rules.size() + extra_headroom);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact lookups
+  return cfg;
+}
+
+/// Drain the trace once through the engine and collect stats + oracle.
+void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
+                const ruleset::RuleSet& rules, const net::Trace& trace) {
+  r.rules = rules.size();
+  r.trace_packets = trace.size();
+  RuleProgramPublisher programs(scenario_config(rules, 0));
+  programs.install_ruleset(rules);
+  TrafficPool pool =
+      TrafficPool::from_trace(trace, /*materialize_packets=*/false);
+  Engine engine({.workers = opts.workers,
+                 .batch_size = opts.batch_size,
+                 .flow_cache_depth = opts.flow_cache_depth,
+                 .loop = false},
+                programs);
+  fill_engine_stats(r, engine.run(pool));
+  verify_oracle(r, programs, trace);
+}
+
+// ---- scenario bodies ------------------------------------------------------
+
+ScenarioResult run_family(const ScenarioOptions& opts,
+                          const std::string& family) {
+  ScenarioResult r;
+  const usize rules_n = scaled(family == "fw" ? 1500 : 2000, opts.scale, 96);
+  const usize packets = scaled(60'000, opts.scale, 2048);
+  RulesetProfile rp = RulesetProfile::by_family(family, rules_n, opts.seed);
+  const ruleset::RuleSet rules = synthesize(rp);
+  TraceSynthesizer ts(rules,
+                      TraceProfile::standard(packets, opts.seed ^ 0xABCD));
+  const net::Trace trace = ts.generate();
+  run_finite(r, opts, rules, trace);
+  return r;
+}
+
+ScenarioResult run_zipf_locality(const ScenarioOptions& opts) {
+  ScenarioResult r;
+  const ruleset::RuleSet rules = synthesize(
+      RulesetProfile::acl(scaled(1200, opts.scale, 96), opts.seed));
+  TraceSynthesizer ts(rules,
+                      TraceProfile::zipf_heavy(
+                          scaled(80'000, opts.scale, 2048),
+                          opts.seed ^ 0x21BF));
+  const net::Trace trace = ts.generate();
+  run_finite(r, opts, rules, trace);
+  return r;
+}
+
+ScenarioResult run_cache_thrash(const ScenarioOptions& opts) {
+  ScenarioResult r;
+  const ruleset::RuleSet rules = synthesize(
+      RulesetProfile::acl(scaled(1200, opts.scale, 96), opts.seed));
+  // 8x more concurrently-active flows than cache lines: worker-local
+  // repeat distance exceeds the cache even when N workers partition the
+  // stream, so hits stay near zero.
+  const usize flows = std::max<usize>(usize{opts.flow_cache_depth} * 8, 64);
+  const net::Trace trace = make_cache_thrash_trace(
+      rules, scaled(60'000, opts.scale, 2048), flows, opts.seed ^ 0x7447);
+  run_finite(r, opts, rules, trace);
+  return r;
+}
+
+ScenarioResult run_trie_depth(const ScenarioOptions& opts) {
+  ScenarioResult r;
+  const ruleset::RuleSet rules = synthesize(
+      RulesetProfile::acl(scaled(1600, opts.scale, 96), opts.seed));
+  const net::Trace trace = make_trie_depth_trace(
+      rules, scaled(60'000, opts.scale, 2048), opts.seed ^ 0xDEEF);
+  run_finite(r, opts, rules, trace);
+  return r;
+}
+
+ScenarioResult run_update_storm(const ScenarioOptions& opts) {
+  ScenarioResult r;
+  const ruleset::RuleSet rules = synthesize(
+      RulesetProfile::acl(scaled(1000, opts.scale, 96), opts.seed));
+  TraceSynthesizer ts(rules,
+                      TraceProfile::standard(
+                          scaled(40'000, opts.scale, 2048),
+                          opts.seed ^ 0xABCD));
+  const net::Trace trace = ts.generate();
+  r.rules = rules.size();
+  r.trace_packets = trace.size();
+
+  // Even count: the storm ends on a delete, leaving exactly the base set
+  // installed (which keeps the post-storm oracle comparison exact).
+  usize updates = scaled(4000, opts.scale, 512);
+  updates &= ~usize{1};
+  // Churn ids live above every generated rule id but inside the Rule
+  // Filter's 16-bit id field.
+  const UpdateStorm storm =
+      make_update_storm(rules, updates, /*first_id=*/60'000,
+                        opts.seed ^ 0x5707);
+
+  RuleProgramPublisher programs(scenario_config(rules, 512));
+  programs.install_ruleset(rules);
+  const u64 version_before = programs.version();
+  TrafficPool pool =
+      TrafficPool::from_trace(trace, /*materialize_packets=*/false);
+  Engine engine({.workers = opts.workers,
+                 .batch_size = opts.batch_size,
+                 .flow_cache_depth = opts.flow_cache_depth,
+                 .loop = true},
+                programs);
+  engine.start(pool);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const sdn::Message& msg : storm.schedule) {
+    programs.apply(msg);
+  }
+  const double storm_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  fill_engine_stats(r, engine.stop());
+
+  r.updates_applied = storm.schedule.size();
+  r.updates_per_sec =
+      storm_secs <= 0
+          ? 0.0
+          : static_cast<double>(storm.schedule.size()) / storm_secs;
+  r.grace_spins = programs.stats().grace_spins;
+  if (programs.version() != version_before + storm.schedule.size()) {
+    r.error = "update-storm: published version did not advance by the "
+              "schedule length";
+  }
+  verify_oracle(r, programs, trace);
+  return r;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioOptions opts) : opts_(opts) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.scale <= 0) {
+    throw ConfigError("ScenarioRunner: scale must be > 0");
+  }
+}
+
+const std::vector<ScenarioSpec>& ScenarioRunner::catalog() {
+  static const std::vector<ScenarioSpec> kCatalog = {
+      {"acl-like",
+       "ACL-shaped ruleset (host-heavy, exact dports), standard trace"},
+      {"fw-like",
+       "FW-shaped ruleset (wildcards, port ranges, nesting), standard "
+       "trace"},
+      {"ipc-like",
+       "IPC-shaped ruleset (correlated endpoint pairs), standard trace"},
+      {"zipf-locality",
+       "heavy-head Zipf flows with bursts — the flow cache's best case"},
+      {"cache-thrash",
+       "8x more active flows than cache lines, maximal repeat distance"},
+      {"trie-depth",
+       "headers walking the longest installed prefixes (worst-case "
+       "lookup depth)"},
+      {"update-storm",
+       "southbound add/delete churn through the RCU publisher under "
+       "concurrent lookups"},
+  };
+  return kCatalog;
+}
+
+ScenarioResult ScenarioRunner::run(const std::string& name) {
+  const auto& specs = catalog();
+  const auto it =
+      std::find_if(specs.begin(), specs.end(),
+                   [&](const ScenarioSpec& s) { return s.name == name; });
+  if (it == specs.end()) {
+    std::string known;
+    for (const auto& s : specs) {
+      known += (known.empty() ? "" : ", ") + s.name;
+    }
+    throw ConfigError("unknown scenario '" + name + "' (catalog: " + known +
+                      ")");
+  }
+
+  ScenarioResult r;
+  try {
+    if (name == "acl-like") r = run_family(opts_, "acl");
+    else if (name == "fw-like") r = run_family(opts_, "fw");
+    else if (name == "ipc-like") r = run_family(opts_, "ipc");
+    else if (name == "zipf-locality") r = run_zipf_locality(opts_);
+    else if (name == "cache-thrash") r = run_cache_thrash(opts_);
+    else if (name == "trie-depth") r = run_trie_depth(opts_);
+    else if (name == "update-storm") r = run_update_storm(opts_);
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  r.name = it->name;
+  r.description = it->description;
+  return r;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_all() {
+  std::vector<ScenarioResult> out;
+  out.reserve(catalog().size());
+  for (const ScenarioSpec& s : catalog()) {
+    out.push_back(run(s.name));
+  }
+  return out;
+}
+
+bool all_ok(const std::vector<ScenarioResult>& results) {
+  return std::all_of(results.begin(), results.end(),
+                     [](const ScenarioResult& r) { return r.ok(); });
+}
+
+void write_json_report(std::ostream& os, const ScenarioOptions& opts,
+                       const std::vector<ScenarioResult>& results) {
+  JsonWriter j(os);
+  j.begin_object();
+  j.key("schema").value("pclass-scenarios-v1");
+  j.key("options").begin_object();
+  j.key("workers").value(opts.workers);
+  j.key("batch_size").value(opts.batch_size);
+  j.key("flow_cache_depth").value(opts.flow_cache_depth);
+  j.key("scale").value(opts.scale);
+  j.key("seed").value(u64{opts.seed});
+  j.end_object();
+  j.key("scenarios").begin_array();
+  for (const ScenarioResult& r : results) {
+    j.begin_object();
+    j.key("name").value(r.name);
+    j.key("description").value(r.description);
+    j.key("ok").value(r.ok());
+    j.key("rules").value(r.rules);
+    j.key("trace_packets").value(r.trace_packets);
+    j.key("packets_processed").value(r.packets_processed);
+    j.key("matched").value(r.matched);
+    j.key("wall_seconds").value(r.wall_seconds);
+    j.key("throughput_mpps").value(r.mpps);
+    j.key("lookup_cycles").begin_object();
+    j.key("mean").value(r.mean_cycles);
+    j.key("p50").value(r.p50_cycles);
+    j.key("p99").value(r.p99_cycles);
+    j.key("max").value(r.max_cycles);
+    j.end_object();
+    j.key("cache_hit_rate").value(r.cache_hit_rate);
+    j.key("memory_accesses").value(r.memory_accesses);
+    j.key("snapshot").begin_object();
+    j.key("min_version").value(r.snapshot_min_version);
+    j.key("max_version").value(r.snapshot_max_version);
+    j.key("lag").value(r.snapshot_lag);
+    j.key("monotonic").value(r.versions_monotonic);
+    j.end_object();
+    j.key("updates").begin_object();
+    j.key("applied").value(r.updates_applied);
+    j.key("per_second").value(r.updates_per_sec);
+    j.key("grace_spins").value(r.grace_spins);
+    j.end_object();
+    j.key("oracle").begin_object();
+    j.key("checked").value(r.oracle_checked);
+    j.key("mismatches").value(r.oracle_mismatches);
+    j.end_object();
+    j.key("error").value(r.error);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("all_ok").value(all_ok(results));
+  j.end_object();
+  os << "\n";
+}
+
+}  // namespace pclass::workload

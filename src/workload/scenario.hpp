@@ -1,0 +1,112 @@
+/// \file scenario.hpp
+/// The scenario catalog and runner: named (ruleset, traffic, churn)
+/// combinations driven through the dataplane Engine with a
+/// machine-readable result per scenario.
+///
+/// Every scenario is oracle-verified: each distinct header the engine
+/// classified is re-classified against the published RuleProgram
+/// snapshot and compared with baseline::LinearSearch ground truth
+/// (CrossProduct combine mode, so agreement must be exact). A scenario
+/// with any mismatch, worker error or non-monotonic snapshot version
+/// reports !ok(), which the pclass_scenario tool turns into a nonzero
+/// exit for CI.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/packet_batch.hpp"
+
+namespace pclass::workload {
+
+/// Engine geometry and scaling knobs shared by all scenarios.
+struct ScenarioOptions {
+  usize workers = 4;
+  usize batch_size = net::kDefaultBatchCapacity;
+  u32 flow_cache_depth = 4096;
+  /// Multiplier on ruleset/trace sizes (CI smoke runs ~0.15).
+  double scale = 1.0;
+  u64 seed = 2026;
+};
+
+/// One scenario's measurement + verification outcome.
+struct ScenarioResult {
+  std::string name;
+  std::string description;
+
+  // Workload shape.
+  usize rules = 0;
+  usize trace_packets = 0;
+
+  // Engine measurement.
+  u64 packets_processed = 0;
+  u64 matched = 0;
+  double wall_seconds = 0;
+  double mpps = 0;
+  double mean_cycles = 0;
+  u64 p50_cycles = 0;
+  u64 p99_cycles = 0;
+  u64 max_cycles = 0;
+  double cache_hit_rate = 0;
+  u64 memory_accesses = 0;  ///< per-worker recorder totals, summed
+
+  // Snapshot consistency.
+  u64 snapshot_min_version = 0;
+  u64 snapshot_max_version = 0;
+  u64 snapshot_lag = 0;  ///< max - min version observed across workers
+  bool versions_monotonic = true;
+
+  // Update churn (update-storm scenario; zero elsewhere).
+  u64 updates_applied = 0;
+  double updates_per_sec = 0;
+  u64 grace_spins = 0;
+
+  // Oracle verification vs baseline::LinearSearch.
+  usize oracle_checked = 0;
+  usize oracle_mismatches = 0;
+
+  std::string error;  ///< non-empty when the scenario failed to run
+
+  [[nodiscard]] bool ok() const {
+    return error.empty() && oracle_mismatches == 0 && versions_monotonic;
+  }
+};
+
+/// Catalog entry: a name the CLI accepts plus a one-line description.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+};
+
+/// Runs scenarios from the built-in catalog.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioOptions opts = {});
+
+  /// The built-in catalog (stable order; >= 6 scenarios).
+  [[nodiscard]] static const std::vector<ScenarioSpec>& catalog();
+
+  /// Run one scenario by name. Never throws for scenario-internal
+  /// failures — those land in result.error; unknown names throw
+  /// ConfigError.
+  [[nodiscard]] ScenarioResult run(const std::string& name);
+
+  /// Run the whole catalog in order.
+  [[nodiscard]] std::vector<ScenarioResult> run_all();
+
+  [[nodiscard]] const ScenarioOptions& options() const { return opts_; }
+
+ private:
+  ScenarioOptions opts_;
+};
+
+/// Emit the single JSON report CI archives (schema
+/// "pclass-scenarios-v1"): options, per-scenario results and the
+/// aggregate all_ok verdict.
+void write_json_report(std::ostream& os, const ScenarioOptions& opts,
+                       const std::vector<ScenarioResult>& results);
+
+[[nodiscard]] bool all_ok(const std::vector<ScenarioResult>& results);
+
+}  // namespace pclass::workload

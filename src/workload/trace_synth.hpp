@@ -1,0 +1,85 @@
+/// \file trace_synth.hpp
+/// Flow-structured and adversarial trace synthesis.
+///
+/// TraceSynthesizer materializes a population of *flows* (concrete
+/// headers derived from rules, so match structure is realistic), then
+/// emits packets with Zipf flow popularity and temporal locality
+/// (bursts) — the traffic shape flow caches and batching live on.
+///
+/// The adversarial generators produce the opposite: traffic engineered
+/// to defeat specific mechanisms of the dataplane —
+///   * cache-thrash: more concurrently-active flows than the flow cache
+///     holds, with maximal repeat distance (every lookup misses);
+///   * trie-depth: headers that walk the longest prefixes in the set,
+///     maximizing per-lookup trie/BST work (worst-case p99 cycles);
+///   * update-storm: a schedule of southbound add/delete pairs to stream
+///     through the RuleProgramPublisher while workers classify.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "net/trace.hpp"
+#include "ruleset/rule_set.hpp"
+#include "sdn/flow_mod.hpp"
+#include "workload/profile.hpp"
+
+namespace pclass::workload {
+
+/// Zipf(s) sampler over ranks 0..n-1 (rank 0 most popular). Exact
+/// inverse-CDF sampling over a precomputed table — deterministic and
+/// fast enough for the populations used here (<= a few hundred K).
+class ZipfSampler {
+ public:
+  /// \throws ConfigError when n == 0 or s < 0.
+  ZipfSampler(usize n, double s);
+
+  [[nodiscard]] usize draw(Rng& rng) const;
+  [[nodiscard]] usize size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Flow-structured trace generation per a TraceProfile.
+class TraceSynthesizer {
+ public:
+  /// \throws ConfigError when \p rules is empty or the profile invalid.
+  TraceSynthesizer(const ruleset::RuleSet& rules, TraceProfile profile);
+
+  /// Generate the trace. Rule-derived entries record their origin rule.
+  [[nodiscard]] net::Trace generate();
+
+ private:
+  const ruleset::RuleSet& rules_;
+  TraceProfile profile_;
+  Rng rng_;
+};
+
+/// Flow-cache adversary: cycle \p distinct_flows unique flows (derived
+/// from rules) in maximal-repeat-distance order, so any cache smaller
+/// than the flow count misses on (almost) every packet.
+[[nodiscard]] net::Trace make_cache_thrash_trace(
+    const ruleset::RuleSet& rules, usize packets, usize distinct_flows,
+    u64 seed);
+
+/// Lookup-depth adversary: headers targeting the longest source and
+/// destination prefixes in the set (deepest trie/BST walks), with ports
+/// varied so the flow cache cannot absorb the cost.
+[[nodiscard]] net::Trace make_trie_depth_trace(const ruleset::RuleSet& rules,
+                                               usize packets, u64 seed);
+
+/// An update-storm schedule for the RCU publisher: \p updates southbound
+/// messages in add/delete pairs over a churn set of synthetic rules
+/// disjoint from \p base_rules (ids start at \p first_id).
+struct UpdateStorm {
+  std::vector<sdn::Message> schedule;
+  usize add_count = 0;
+  usize delete_count = 0;
+};
+
+[[nodiscard]] UpdateStorm make_update_storm(const ruleset::RuleSet& base_rules,
+                                            usize updates, u32 first_id,
+                                            u64 seed);
+
+}  // namespace pclass::workload

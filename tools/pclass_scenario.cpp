@@ -1,0 +1,137 @@
+/// \file pclass_scenario.cpp
+/// Scenario runner CLI: drives the dataplane Engine over the workload
+/// catalog (ACL/FW/IPC-shaped sets, Zipf locality, cache-thrash,
+/// trie-depth and update-storm traffic) and emits one machine-readable
+/// JSON report. Every scenario is oracle-verified against
+/// baseline::LinearSearch; any mismatch, worker error or snapshot
+/// monotonicity violation makes the exit code nonzero, which is what CI
+/// keys on.
+///
+///   pclass_scenario [--list] [--scenario NAME]... [--smoke]
+///                   [--workers N] [--cache-depth N] [--seed N]
+///                   [--scale F] [--out FILE]
+///
+/// --smoke shrinks every workload (~6x) for fast CI runs. The report
+/// goes to stdout unless --out names a file.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parse.hpp"
+#include "workload/scenario.hpp"
+
+using namespace pclass;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: pclass_scenario [--list] [--scenario NAME]... "
+               "[--smoke] [--workers N] [--cache-depth N] [--seed N] "
+               "[--scale F] [--out FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::ScenarioOptions opts;
+  std::vector<std::string> wanted;
+  std::string out_path;
+  bool list_only = false;
+
+  u64 n = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--list") {
+      list_only = true;
+    } else if (flag == "--smoke") {
+      opts.scale = 0.15;
+    } else if (flag == "--scenario" && i + 1 < argc) {
+      wanted.emplace_back(argv[++i]);
+    } else if (flag == "--workers" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || n == 0 || n > 256) return usage();
+      opts.workers = static_cast<usize>(n);
+    } else if (flag == "--cache-depth" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || n > (u64{1} << 24)) return usage();
+      opts.flow_cache_depth = static_cast<u32>(n);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n)) return usage();
+      opts.seed = n;
+    } else if (flag == "--scale" && i + 1 < argc) {
+      try {
+        opts.scale = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+      if (opts.scale <= 0 || opts.scale > 100) return usage();
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  if (list_only) {
+    for (const auto& s : workload::ScenarioRunner::catalog()) {
+      std::cout << s.name << "\t" << s.description << "\n";
+    }
+    return 0;
+  }
+
+  try {
+    workload::ScenarioRunner runner(opts);
+    std::vector<workload::ScenarioResult> results;
+    if (wanted.empty()) {
+      results = runner.run_all();
+    } else {
+      results.reserve(wanted.size());
+      for (const std::string& name : wanted) {
+        results.push_back(runner.run(name));
+      }
+    }
+
+    // Human-readable progress on stderr; the JSON report is the output.
+    for (const auto& r : results) {
+      std::cerr << (r.ok() ? "ok   " : "FAIL ") << r.name << ": "
+                << r.packets_processed << " pkts, "
+                << r.rules << " rules, p50/p99 " << r.p50_cycles << "/"
+                << r.p99_cycles << " cyc, cache "
+                << static_cast<int>(r.cache_hit_rate * 100) << "%, oracle "
+                << (r.oracle_checked - r.oracle_mismatches) << "/"
+                << r.oracle_checked;
+      if (r.updates_applied > 0) {
+        std::cerr << ", " << r.updates_applied << " updates";
+      }
+      if (!r.error.empty()) {
+        std::cerr << " [" << r.error << "]";
+      }
+      std::cerr << "\n";
+    }
+
+    std::ostringstream report;
+    workload::write_json_report(report, opts, results);
+    if (out_path.empty()) {
+      std::cout << report.str();
+    } else {
+      std::ofstream os(out_path);
+      if (!os) {
+        std::cerr << "error: cannot open " << out_path << "\n";
+        return 1;
+      }
+      os << report.str();
+      std::cerr << "wrote " << out_path << "\n";
+    }
+
+    if (!workload::all_ok(results)) {
+      std::cerr << "FAIL: at least one scenario failed oracle/consistency "
+                   "verification\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
