@@ -1,0 +1,191 @@
+/// \file bench_batch_ablation.cpp
+/// Phase-2 batch engine ablation: scalar vs phase2 (memo off) vs phase2
+/// (memo on) across batch sizes, on three workload shapes —
+///
+///   * fw-like      wildcard-heavy lists, heavy combination reuse
+///                  (the probe memo's home turf);
+///   * zipf-flows   flow-structured ACL traffic (combine-level dedup:
+///                  duplicate flows inside a batch share one odometer);
+///   * cache-thrash every packet a distinct flow at maximal repeat
+///                  distance (traffic engineered against batching; the
+///                  adaptive gates must degrade to ~scalar cost).
+///
+/// For each point: single-threaded host throughput over the whole
+/// trace, modeled mean/p99 lookup cycles (exact percentiles, not the
+/// histogram buckets) and probe-memo hits. This is the bench that makes
+/// batch size a performance knob rather than a scheduling unit.
+///
+/// Correctness gate: every phase-2 verdict and per-packet access count
+/// is compared against the scalar path; any mismatch exits nonzero.
+///
+/// Usage: bench_batch_ablation [--packets N]
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/parse.hpp"
+#include "net/packet_batch.hpp"
+
+using namespace pclass;
+using namespace pclass::bench;
+
+namespace {
+
+struct Point {
+  double mpps = 0;
+  double mean_cycles = 0;
+  u64 p99_cycles = 0;
+  u64 memo_hits = 0;
+};
+
+Point run_point(const core::ConfigurableClassifier& clf,
+                std::span<const net::FiveTuple> in, usize batch,
+                std::vector<core::ClassifyResult>& out) {
+  out.assign(in.size(), {});
+  core::BatchScratch scratch;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (usize off = 0; off < in.size(); off += batch) {
+    const usize len = std::min(batch, in.size() - off);
+    clf.classify_batch(in.subspan(off, len),
+                       std::span(out).subspan(off, len), scratch);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  Point p;
+  p.mpps = secs <= 0 ? 0.0 : static_cast<double>(in.size()) / 1e6 / secs;
+  u64 total = 0;
+  std::vector<u64> cycles;
+  cycles.reserve(out.size());
+  for (const auto& r : out) {
+    total += r.cycles;
+    p.memo_hits += r.memo_hits;
+    cycles.push_back(r.cycles);
+  }
+  std::sort(cycles.begin(), cycles.end());
+  p.mean_cycles = static_cast<double>(total) /
+                  static_cast<double>(out.size());
+  p.p99_cycles = cycles[cycles.size() * 99 / 100];
+  return p;
+}
+
+/// Verdict + access parity of a phase-2 run against the scalar results.
+bool equivalent(const std::vector<core::ClassifyResult>& got,
+                const std::vector<core::ClassifyResult>& want) {
+  for (usize i = 0; i < got.size(); ++i) {
+    const bool same_match =
+        got[i].match.has_value() == want[i].match.has_value() &&
+        (!got[i].match || (got[i].match->rule == want[i].match->rule &&
+                           got[i].match->priority == want[i].match->priority));
+    if (!same_match || got[i].memory_accesses != want[i].memory_accesses ||
+        got[i].crossproduct_probes != want[i].crossproduct_probes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  usize packets = 20'000;
+  u64 n = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--packets" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || n == 0 || n > 10'000'000) {
+        std::cerr << "usage: bench_batch_ablation [--packets N]\n";
+        return 2;
+      }
+      packets = static_cast<usize>(n);
+    } else {
+      std::cerr << "usage: bench_batch_ablation [--packets N]\n";
+      return 2;
+    }
+  }
+
+  struct Shape {
+    const char* name;
+    Workload w;
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back(
+      {"fw-like",
+       make_profile_workload(
+           workload::RulesetProfile::fw(1500, 2026),
+           workload::TraceProfile::standard(packets, 2026 ^ 0xABCD))});
+  shapes.push_back(
+      {"zipf-flows",
+       make_profile_workload(
+           workload::RulesetProfile::acl(1200, 2026),
+           workload::TraceProfile::zipf_heavy(packets, 2026 ^ 0x21BF))});
+  {
+    Workload w;
+    w.rules = workload::synthesize(workload::RulesetProfile::acl(1200, 2026));
+    w.trace = workload::make_cache_thrash_trace(w.rules, packets, 32'768,
+                                                2026 ^ 0x7447);
+    shapes.push_back({"cache-thrash", std::move(w)});
+  }
+
+  bool ok = true;
+  for (const Shape& shape : shapes) {
+    header("Batch-phase-2 ablation — " + std::string(shape.name),
+           std::to_string(shape.w.rules.size()) + " rules, " +
+               std::to_string(shape.w.trace.size()) +
+               " headers, single thread, CrossProduct/MBT.");
+
+    core::ClassifierConfig cfg =
+        core::ClassifierConfig::for_scale(shape.w.rules.size());
+    cfg.combine_mode = core::CombineMode::kCrossProduct;
+    core::ConfigurableClassifier clf(cfg);
+    clf.add_rules(shape.w.rules);
+    std::vector<net::FiveTuple> in;
+    in.reserve(shape.w.trace.size());
+    for (const auto& e : shape.w.trace) in.push_back(e.header);
+
+    std::vector<core::ClassifyResult> scalar_res;
+    std::vector<core::ClassifyResult> out;
+    clf.set_batch_mode(core::BatchMode::kScalar);
+    const Point scalar =
+        run_point(clf, in, net::kDefaultBatchCapacity, scalar_res);
+
+    TextTable t({"batch", "mode", "Mpps", "vs scalar", "mean cyc",
+                 "p99 cyc", "memo hits"});
+    t.add_row({"-", "scalar", TextTable::num(scalar.mpps, 3), "1.00x",
+               TextTable::num(scalar.mean_cycles, 1),
+               std::to_string(scalar.p99_cycles), "0"});
+    for (const usize batch : {usize{8}, usize{32}, usize{128}}) {
+      for (const bool memo : {false, true}) {
+        clf.set_batch_mode(core::BatchMode::kPhase2);
+        clf.set_batch_probe_memo(memo);
+        const Point p = run_point(clf, in, batch, out);
+        if (!equivalent(out, scalar_res)) {
+          std::cerr << "FAIL: phase2 (batch " << batch << ", memo "
+                    << (memo ? "on" : "off")
+                    << ") diverged from the scalar path on " << shape.name
+                    << "\n";
+          ok = false;
+        }
+        t.add_row({std::to_string(batch),
+                   memo ? "phase2+memo" : "phase2",
+                   TextTable::num(p.mpps, 3),
+                   TextTable::num(p.mpps / scalar.mpps, 2) + "x",
+                   TextTable::num(p.mean_cycles, 1),
+                   std::to_string(p.p99_cycles),
+                   std::to_string(p.memo_hits)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  if (!ok) {
+    std::cerr << "FAIL: batch ablation found scalar/phase2 divergence\n";
+    return 1;
+  }
+  std::cout << "OK: phase-2 verdicts and access counts match the scalar "
+               "path on all shapes\n";
+  return 0;
+}

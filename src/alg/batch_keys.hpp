@@ -1,0 +1,50 @@
+/// \file batch_keys.hpp
+/// Shared vocabulary of the phase-2 *batch* lookup path: a batch of
+/// packets is decomposed per dimension into (key, slot) lanes, sorted by
+/// key, and handed to each engine's lookup_batch_into() in one call.
+/// Sorting groups duplicate keys into runs (one real walk per distinct
+/// key, modeled cost replayed per packet) and places near-equal keys
+/// next to each other, which is what lets the multi-bit trie reuse the
+/// shared prefix levels of consecutive walks (RVH-style sorted
+/// traversal: shared nodes are touched once per batch, not once per
+/// packet).
+///
+/// Cycle-charging contract (all lookup_batch_into variants): every
+/// packet's CycleRecorder receives *exactly* the cycles and memory
+/// accesses the scalar lookup of its key would have charged — the batch
+/// path amortizes host work, never modeled cost. Equivalence is
+/// asserted per packet by tests/test_batch_phase2.cpp.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace pclass::alg {
+
+/// One lane of a batch lookup: dimension key of the packet at \p slot.
+struct BatchKey {
+  u32 key = 0;   ///< the dimension search key (16-bit dims zero-extended)
+  u32 slot = 0;  ///< index of the packet inside the batch
+};
+
+/// Slice of a batch-shared label pool: the label list of one packet's
+/// dimension, without per-packet list copies (duplicate keys share one
+/// pool range).
+struct LabelSpan {
+  u32 off = 0;
+  u32 len = 0;
+
+  [[nodiscard]] constexpr bool empty() const { return len == 0; }
+};
+
+/// Sort lanes by key (slot as tiebreak, so runs are deterministic).
+inline void sort_batch_keys(std::span<BatchKey> keys) {
+  std::sort(keys.begin(), keys.end(),
+            [](const BatchKey& a, const BatchKey& b) {
+              return a.key != b.key ? a.key < b.key : a.slot < b.slot;
+            });
+}
+
+}  // namespace pclass::alg

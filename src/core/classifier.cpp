@@ -512,11 +512,357 @@ ClassifyResult ConfigurableClassifier::classify_packet(
 void ConfigurableClassifier::classify_batch(
     std::span<const net::FiveTuple> in,
     std::span<ClassifyResult> out) const {
+  BatchScratch scratch;
+  classify_batch(in, out, scratch);
+}
+
+void ConfigurableClassifier::classify_batch(
+    std::span<const net::FiveTuple> in, std::span<ClassifyResult> out,
+    BatchScratch& scratch) const {
   if (out.size() < in.size()) {
     throw ConfigError("classify_batch: output span smaller than input");
   }
-  for (usize i = 0; i < in.size(); ++i) {
-    out[i] = classify(in[i]);
+  if (cfg_.batch_mode == BatchMode::kScalar || in.size() <= 1) {
+    // Single-packet batches have nothing to share; the scalar path is
+    // the phase-2 engine's exact cost model without its scaffolding.
+    for (usize i = 0; i < in.size(); ++i) {
+      out[i] = classify(in[i]);
+    }
+    return;
+  }
+  if (scratch.scalar_bypass_remaining > 0) {
+    // Share-free traffic (see BatchScratch::share_window_*): the scalar
+    // loop is the same cost model without the batch scaffolding.
+    --scratch.scalar_bypass_remaining;
+    for (usize i = 0; i < in.size(); ++i) {
+      out[i] = classify(in[i]);
+    }
+    return;
+  }
+  classify_batch_phase2(in, out, scratch);
+}
+
+namespace {
+
+/// Linear search of the per-batch list-read memo (distinct refs per
+/// batch are few; a flat scan beats hashing at these sizes).
+BatchScratch::ListReadMemo* find_list_memo(
+    std::vector<BatchScratch::ListReadMemo>& memo, u32 ref_addr) {
+  for (auto& m : memo) {
+    if (m.ref_addr == ref_addr) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void ConfigurableClassifier::classify_batch_phase2(
+    std::span<const net::FiveTuple> in, std::span<ClassifyResult> out,
+    BatchScratch& s) const {
+  const usize n = in.size();
+  for (usize d = 0; d < kNumDimensions; ++d) {
+    s.keys[d].resize(n);
+    s.recs[d].assign(n, hw::CycleRecorder{});
+    s.pools[d].clear();
+    s.spans[d].assign(n, alg::LabelSpan{});
+  }
+  for (usize i = 0; i < 4; ++i) {
+    s.ip_refs[i].assign(n, alg::ListRef{});
+    s.list_memo[i].clear();
+  }
+  s.combine_memo.clear();
+
+  // Gather + sort the per-dimension key lanes for the whole batch.
+  for (usize p = 0; p < n; ++p) {
+    for (Dimension d : kAllDimensions) {
+      s.keys[index_of(d)][p] =
+          alg::BatchKey{net::dimension_key(in[p], d) & 0xFFFFu,
+                        static_cast<u32>(p)};
+    }
+  }
+  for (usize d = 0; d < kNumDimensions; ++d) {
+    alg::sort_batch_keys(s.keys[d]);
+  }
+
+  // Phase 2, batched: each engine resolves its sorted run once.
+  for (usize i = 0; i < 4; ++i) {
+    const usize d = index_of(kIpDims[i]);
+    if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
+      mbt_[i]->lookup_batch_into(s.keys[d], s.ip_refs[i], s.recs[d]);
+    } else {
+      bst_[i]->lookup_batch_into(s.keys[d], s.ip_refs[i], s.recs[d]);
+    }
+  }
+  const bool cross = cfg_.combine_mode == CombineMode::kCrossProduct;
+  // FirstLabel needs only each dimension's winner: the first-label
+  // variants skip list materialization and the priority-network sort
+  // (mirroring the scalar path's lookup_first), at identical cost.
+  if (cross) {
+    sport_regs_->lookup_batch_into(s.keys[index_of(Dimension::kSrcPort)],
+                                   s.recs[index_of(Dimension::kSrcPort)],
+                                   s.pools[index_of(Dimension::kSrcPort)],
+                                   s.spans[index_of(Dimension::kSrcPort)]);
+    dport_regs_->lookup_batch_into(s.keys[index_of(Dimension::kDstPort)],
+                                   s.recs[index_of(Dimension::kDstPort)],
+                                   s.pools[index_of(Dimension::kDstPort)],
+                                   s.spans[index_of(Dimension::kDstPort)]);
+    proto_lut_->lookup_batch_into(s.keys[index_of(Dimension::kProtocol)],
+                                  s.recs[index_of(Dimension::kProtocol)],
+                                  s.pools[index_of(Dimension::kProtocol)],
+                                  s.spans[index_of(Dimension::kProtocol)]);
+  } else {
+    sport_regs_->lookup_first_batch_into(
+        s.keys[index_of(Dimension::kSrcPort)],
+        s.recs[index_of(Dimension::kSrcPort)],
+        s.pools[index_of(Dimension::kSrcPort)],
+        s.spans[index_of(Dimension::kSrcPort)]);
+    dport_regs_->lookup_first_batch_into(
+        s.keys[index_of(Dimension::kDstPort)],
+        s.recs[index_of(Dimension::kDstPort)],
+        s.pools[index_of(Dimension::kDstPort)],
+        s.spans[index_of(Dimension::kDstPort)]);
+    proto_lut_->lookup_first_batch_into(
+        s.keys[index_of(Dimension::kProtocol)],
+        s.recs[index_of(Dimension::kProtocol)],
+        s.pools[index_of(Dimension::kProtocol)],
+        s.spans[index_of(Dimension::kProtocol)]);
+  }
+  if (cross) {
+    // IP label-list reads, one per distinct ref per batch; every packet
+    // sharing the ref replays the recorded cost (same list, same
+    // walk). Iterating in sorted-key order keeps equal refs adjacent.
+    for (usize i = 0; i < 4; ++i) {
+      const usize d = index_of(kIpDims[i]);
+      for (const alg::BatchKey& lane : s.keys[d]) {
+        const alg::ListRef ref = s.ip_refs[i][lane.slot];
+        BatchScratch::ListReadMemo* m =
+            find_list_memo(s.list_memo[i], ref.addr);
+        if (m == nullptr) {
+          hw::CycleRecorder rc;
+          LabelVec tmp;
+          lists_[i]->read_list_into(ref, &rc, tmp);
+          BatchScratch::ListReadMemo fresh;
+          fresh.ref_addr = ref.addr;
+          fresh.span.off = static_cast<u32>(s.pools[d].size());
+          fresh.span.len = static_cast<u32>(tmp.size());
+          fresh.cycles = rc.cycles();
+          fresh.accesses = rc.memory_accesses();
+          s.pools[d].insert(s.pools[d].end(), tmp.begin(), tmp.end());
+          s.list_memo[i].push_back(fresh);
+          m = &s.list_memo[i].back();
+        }
+        s.recs[d][lane.slot].charge(m->cycles, m->accesses);
+        s.spans[d][lane.slot] = m->span;
+      }
+    }
+  }
+
+  // The per-batch combination memo. The adaptive gate bypasses the
+  // RuleFilter-level memo (not the combine-level replay) on workloads
+  // where its measured hit rate over a sampling window is negligible —
+  // there it is pure host overhead on every probe.
+  ProbeMemo* memo = nullptr;
+  if (cfg_.batch_probe_memo) {
+    if (s.memo_bypass_remaining > 0) {
+      --s.memo_bypass_remaining;
+    } else {
+      if (s.memo.slots() < cfg_.batch_memo_slots) {
+        s.memo = ProbeMemo(cfg_.batch_memo_slots);
+      }
+      s.memo.reset();
+      memo = &s.memo;
+    }
+  }
+
+  // Phases 3 + 4 per packet, combining the batch-shared phase-2 results.
+  for (usize p = 0; p < n; ++p) {
+    ClassifyResult& res = out[p];
+    res = ClassifyResult{};
+    u64 tail_cycles = 0;
+    u64 tail_accesses = 0;
+
+    if (!cross) {
+      hw::CycleRecorder tail;
+      tail.charge(1, 0);  // label merge network
+      // FirstLabel: same control flow (and therefore the same charges)
+      // as the scalar path — ports/proto first, then the IP refs until
+      // the first empty one.
+      std::array<Label, kNumDimensions> first{};
+      for (const Dimension d :
+           {Dimension::kSrcPort, Dimension::kDstPort, Dimension::kProtocol}) {
+        const alg::LabelSpan sp = s.spans[index_of(d)][p];
+        first[index_of(d)] =
+            sp.empty() ? Label{} : s.pools[index_of(d)][sp.off];
+      }
+      bool miss = !first[index_of(Dimension::kSrcPort)].valid() ||
+                  !first[index_of(Dimension::kDstPort)].valid() ||
+                  !first[index_of(Dimension::kProtocol)].valid();
+      for (usize i = 0; i < 4 && !miss; ++i) {
+        const alg::ListRef ref = s.ip_refs[i][p];
+        if (ref.empty()) {
+          miss = true;
+          break;
+        }
+        BatchScratch::ListReadMemo* m =
+            find_list_memo(s.list_memo[i], ref.addr);
+        if (m == nullptr) {
+          hw::CycleRecorder rc;
+          BatchScratch::ListReadMemo fresh;
+          fresh.ref_addr = ref.addr;
+          fresh.first = lists_[i]->read_first(ref, &rc);
+          fresh.cycles = rc.cycles();
+          fresh.accesses = rc.memory_accesses();
+          s.list_memo[i].push_back(fresh);
+          m = &s.list_memo[i].back();
+        }
+        s.recs[index_of(kIpDims[i])][p].charge(m->cycles, m->accesses);
+        first[index_of(kIpDims[i])] = m->first;
+      }
+      if (!miss) {
+        res.crossproduct_probes = 1;
+        const Key68 key = Key68::merge(first);
+        res.match = memo != nullptr
+                        ? rule_filter_->lookup_memo(key, &tail, *memo,
+                                                    res.memo_hits)
+                        : rule_filter_->lookup(key, &tail);
+      }
+      tail_cycles = tail.cycles();
+      tail_accesses = tail.memory_accesses();
+    } else {
+      // Combine-level dedup: packets with identical 7-span signatures
+      // have identical label lists, hence an identical odometer — run
+      // it once per distinct list set and replay verdict + tail cost.
+      std::array<u64, kNumDimensions> sig;
+      for (usize d = 0; d < kNumDimensions; ++d) {
+        const alg::LabelSpan sp = s.spans[d][p];
+        sig[d] = (u64{sp.off} << 32) | sp.len;
+      }
+      BatchScratch::CombineMemo* cm = nullptr;
+      for (auto& m : s.combine_memo) {
+        if (m.sig == sig) {
+          cm = &m;
+          break;
+        }
+      }
+      if (cm == nullptr) {
+        BatchScratch::CombineMemo fresh;
+        fresh.sig = sig;
+        hw::CycleRecorder tail;
+        tail.charge(1, 0);  // label merge network
+        bool miss = false;
+        // Hoist the label lists into local pointer/length pairs: the
+        // probe loop below calls into the rule filter, so without this
+        // the compiler must reload the pool vectors' data pointers on
+        // every probe (and probes dominate the cross-product path).
+        std::array<const Label*, kNumDimensions> list_ptr{};
+        std::array<usize, kNumDimensions> list_len{};
+        for (usize d = 0; d < kNumDimensions; ++d) {
+          const alg::LabelSpan sp = s.spans[d][p];
+          list_ptr[d] = s.pools[d].data() + sp.off;
+          list_len[d] = sp.len;
+          if (sp.len == 0) miss = true;
+        }
+        if (!miss) {
+          std::array<usize, kNumDimensions> idx{};
+          std::array<Label, kNumDimensions> combo{};
+          std::optional<RuleEntry> best;
+          while (true) {
+            for (usize d = 0; d < kNumDimensions; ++d) {
+              combo[d] = list_ptr[d][idx[d]];
+            }
+            ++fresh.probes;
+            if (fresh.probes > cfg_.max_crossproduct_probes) {
+              throw InternalError("classify_batch: cross-product probe "
+                                  "bound exceeded — label lists "
+                                  "pathologically long");
+            }
+            const Key68 key = Key68::merge(combo);
+            const std::optional<RuleEntry> hit =
+                memo != nullptr
+                    ? rule_filter_->lookup_memo(key, &tail, *memo,
+                                                fresh.memo_hits)
+                    : rule_filter_->lookup(key, &tail);
+            if (hit && (!best || hit->priority < best->priority ||
+                        (hit->priority == best->priority &&
+                         hit->rule < best->rule))) {
+              best = hit;
+            }
+            usize d = 0;
+            for (; d < kNumDimensions; ++d) {
+              if (++idx[d] < list_len[d]) break;
+              idx[d] = 0;
+            }
+            if (d == kNumDimensions) break;
+          }
+          fresh.match = best;
+        }
+        fresh.tail_cycles = tail.cycles();
+        fresh.tail_accesses = tail.memory_accesses();
+        if (memo != nullptr) {
+          s.memo_window_probes += fresh.probes;
+          s.memo_window_hits += fresh.memo_hits;
+        }
+        s.combine_memo.push_back(fresh);
+        cm = &s.combine_memo.back();
+        res.match = cm->match;
+        res.crossproduct_probes = cm->probes;
+        res.memo_hits = cm->memo_hits;
+        tail_cycles = cm->tail_cycles;
+        tail_accesses = cm->tail_accesses;
+      } else {
+        // Repeat list set. With the combination memo active, every
+        // probe of this packet was just cached by its leader: each is
+        // served in one cycle, still charging the replaced probe's
+        // reads. With the memo off (or host-bypassed this batch, so
+        // nothing was cached), replay the leader's full tail —
+        // cycle-exact with the scalar path. Repeat hits count toward
+        // the adaptive window: a memo that serves repeats is earning
+        // its keep even when leader cross-set hits are rare.
+        res.match = cm->match;
+        res.crossproduct_probes = cm->probes;
+        if (memo != nullptr) {
+          res.memo_hits = cm->probes;
+          tail_cycles = 1 + cm->probes;
+          s.memo_window_probes += cm->probes;
+          s.memo_window_hits += cm->probes;
+        } else {
+          res.memo_hits = 0;
+          tail_cycles = cm->tail_cycles;
+        }
+        tail_accesses = cm->tail_accesses;
+      }
+    }
+
+    u64 phase2_cycles = 0;
+    for (usize d = 0; d < kNumDimensions; ++d) {
+      phase2_cycles = std::max(phase2_cycles, s.recs[d][p].cycles());
+      res.memory_accesses += s.recs[d][p].memory_accesses();
+    }
+    res.cycles = 1 /*split*/ + phase2_cycles + tail_cycles;
+    res.memory_accesses += tail_accesses;
+  }
+
+  // Close the adaptive sampling windows: bypass the RuleFilter-level
+  // memo when it served under 2% of the window's probes, and bypass
+  // the whole phase-2 scaffolding when under 5% of the window's
+  // packets shared a label-list set. Both re-sample after a stretch.
+  if (memo != nullptr && s.memo_window_probes >= 16384) {
+    if (s.memo_window_hits * 50 < s.memo_window_probes) {
+      s.memo_bypass_remaining = 64;
+    }
+    s.memo_window_probes = 0;
+    s.memo_window_hits = 0;
+  }
+  if (cross) {
+    s.share_window_packets += n;
+    s.share_window_repeats += n - s.combine_memo.size();
+    if (s.share_window_packets >= 2048) {
+      if (s.share_window_repeats * 20 < s.share_window_packets) {
+        s.scalar_bypass_remaining = 512;
+      }
+      s.share_window_packets = 0;
+      s.share_window_repeats = 0;
+    }
   }
 }
 

@@ -41,6 +41,19 @@
 namespace pclass::core {
 
 /// Outcome and measured cost of classifying one header.
+///
+/// Cycle-charging contract (what every lookup entry point guarantees,
+/// and what the phase-2 batch path must preserve):
+///   cycles = 1 (header split) + max over the 7 dimension recorders
+///            (phase 2 runs in parallel; the phase costs the slowest
+///            engine) + the tail recorder (label merge + every Rule
+///            Filter probe, serial);
+///   memory_accesses = the *sum* of all recorders' block-memory reads.
+/// The batch engine replays, per packet, exactly the charges the scalar
+/// path would make; the probe memo may lower `cycles` (a hit costs one
+/// cycle instead of hash + probe walk) but never changes
+/// `memory_accesses` or `crossproduct_probes` (a memoized probe still
+/// charges the reads it replaces — see core::ProbeMemo).
 struct ClassifyResult {
   /// The matched rule (HPMR under CrossProduct; under FirstLabel, the
   /// rule owning the first-label combination, when present).
@@ -48,6 +61,9 @@ struct ClassifyResult {
   u64 cycles = 0;            ///< end-to-end latency of this lookup
   u64 memory_accesses = 0;   ///< total block-memory reads
   u64 crossproduct_probes = 0;  ///< hash probes issued in phase 3
+  /// Probes served by the per-batch combination memo (0 on the scalar
+  /// path; each hit is also counted in crossproduct_probes).
+  u64 memo_hits = 0;
 };
 
 /// Per-block memory occupancy snapshot.
@@ -63,6 +79,72 @@ struct MemoryReport {
   u64 total_capacity_bits = 0;
   u64 total_used_bits = 0;
   u64 register_bits = 0;
+};
+
+/// Reusable scratch of the phase-2 batch engine: per-dimension key
+/// lanes, per-packet recorders, batch-shared label pools and the
+/// combination-probe memo. Callers that classify batches continuously
+/// (one dataplane worker = one scratch) reuse it so the steady-state
+/// batch path performs no heap allocation; the convenience
+/// classify_batch(in, out) overload creates a throwaway one.
+struct BatchScratch {
+  std::array<std::vector<alg::BatchKey>, kNumDimensions> keys;
+  std::array<std::vector<hw::CycleRecorder>, kNumDimensions> recs;
+  std::array<std::vector<Label>, kNumDimensions> pools;
+  std::array<std::vector<alg::LabelSpan>, kNumDimensions> spans;
+  std::array<std::vector<alg::ListRef>, 4> ip_refs;
+
+  /// One label-list read per distinct ListRef per batch: the cached
+  /// pool range, the first label (FirstLabel mode) and the modeled cost
+  /// to replay for every packet sharing the ref.
+  struct ListReadMemo {
+    u32 ref_addr = 0;
+    alg::LabelSpan span{};
+    Label first{};
+    u64 cycles = 0;
+    u64 accesses = 0;
+  };
+  std::array<std::vector<ListReadMemo>, 4> list_memo;
+
+  /// One cross-product combine per distinct label-list *set* per batch:
+  /// packets whose 7 spans coincide (duplicate flows; fw-like sets
+  /// where wildcard labels dominate every list) share one odometer run
+  /// and replay its verdict and modeled tail cost. The signature is the
+  /// 7 packed (off, len) spans — span identity implies list identity
+  /// because pools are deduplicated per distinct key/ref. With the
+  /// probe memo on, a repeat packet's probes are modeled as memo hits
+  /// (one cycle + the replaced probe's reads each); with it off the
+  /// leader's full tail is replayed, keeping cycles scalar-exact.
+  struct CombineMemo {
+    std::array<u64, kNumDimensions> sig{};
+    std::optional<RuleEntry> match;
+    u64 probes = 0;
+    u64 memo_hits = 0;
+    u64 tail_cycles = 0;
+    u64 tail_accesses = 0;
+  };
+  std::vector<CombineMemo> combine_memo;
+
+  ProbeMemo memo{ProbeMemo::kDefaultSlots};
+  // Adaptive probe-memo gate: when the measured hit rate of the
+  // RuleFilter-level memo stays negligible over a sampling window
+  // (cross-product workloads with no cross-set combination reuse, e.g.
+  // cache-thrash), the memo is bypassed for a stretch of batches so
+  // misses stop paying its host cost. Purely a host-side heuristic:
+  // leaders then probe at full scalar cost (still within the cycles-<=
+  // contract); combine-level replay is unaffected.
+  u64 memo_window_probes = 0;
+  u64 memo_window_hits = 0;
+  u32 memo_bypass_remaining = 0;
+  // Second adaptive gate, one level up: when a sampling window shows no
+  // combine-level sharing either (every packet a distinct label-list
+  // set — traffic engineered against batching, e.g. cache-thrash), the
+  // whole phase-2 scaffolding is skipped for a stretch of batches in
+  // favour of the scalar loop, whose costs the phase-2 path reproduces
+  // exactly. Re-sampled periodically so structured traffic re-engages.
+  u64 share_window_packets = 0;
+  u64 share_window_repeats = 0;
+  u32 scalar_bypass_remaining = 0;
 };
 
 /// The configurable classification device plus its controller shadow.
@@ -103,22 +185,47 @@ class ConfigurableClassifier {
   /// Phase-3 policy (software decision; free).
   void set_combine_mode(CombineMode mode) { cfg_.combine_mode = mode; }
 
+  /// classify_batch() strategy (software decision; free). The A/B knob
+  /// the tools expose as --batch-mode.
+  void set_batch_mode(BatchMode mode) { cfg_.batch_mode = mode; }
+
+  /// Toggle the per-batch combination-probe memo (phase-2 only; free).
+  void set_batch_probe_memo(bool on) { cfg_.batch_probe_memo = on; }
+
   // ---- data-plane API (lookup path) ----
 
-  /// Classify a parsed 5-tuple.
+  /// Classify a parsed 5-tuple. Charges per the ClassifyResult
+  /// contract: the 7 phase-2 engines record in parallel (max), the
+  /// merge + Rule Filter tail records serially (sum).
   [[nodiscard]] ClassifyResult classify(const net::FiveTuple& h) const;
 
   /// Parse + classify raw packet bytes; nullopt result for non-IPv4.
   [[nodiscard]] ClassifyResult classify_packet(
       std::span<const u8> bytes) const;
 
-  /// Batched lookup: classify `in[i]` into `out[i]` for the whole span
-  /// in one tight loop. This is the entry point the dataplane engine
-  /// drives per worker batch; `out.size()` must be >= `in.size()`.
+  /// Batched lookup: classify `in[i]` into `out[i]` for the whole span.
+  /// This is the entry point the dataplane engine drives per worker
+  /// batch; `out.size()` must be >= `in.size()`.
+  ///
+  /// Under BatchMode::kPhase2 (the default) this is a true batch
+  /// engine: per-dimension keys are gathered and sorted across the
+  /// whole span, each engine resolves one sorted run per batch (shared
+  /// trie levels and duplicate keys are walked once on the host), and
+  /// the combiner memoizes repeated label combinations. Results and
+  /// per-packet memory_accesses are *identical* to the scalar path
+  /// (asserted by tests/test_batch_phase2.cpp); per-packet cycles are
+  /// identical with the probe memo off and <= with it on.
+  ///
   /// Thread-safe against other concurrent const lookups (the update
   /// path is not — the dataplane publishes immutable snapshots instead).
   void classify_batch(std::span<const net::FiveTuple> in,
                       std::span<ClassifyResult> out) const;
+
+  /// Same, reusing caller-owned scratch so continuous batch callers
+  /// (one dataplane worker = one scratch) allocate nothing per batch.
+  void classify_batch(std::span<const net::FiveTuple> in,
+                      std::span<ClassifyResult> out,
+                      BatchScratch& scratch) const;
 
   // ---- introspection ----
 
@@ -186,6 +293,11 @@ class ConfigurableClassifier {
   /// Phase-2 lookup of one IP dimension through the active engine.
   [[nodiscard]] alg::ListRef ip_lookup(usize ip_dim_index, u16 key,
                                        hw::CycleRecorder* rec) const;
+
+  /// The BatchMode::kPhase2 engine behind classify_batch().
+  void classify_batch_phase2(std::span<const net::FiveTuple> in,
+                             std::span<ClassifyResult> out,
+                             BatchScratch& scratch) const;
 
   void rebuild_active_ip_engines(hw::CommandLog& log);
 

@@ -39,10 +39,34 @@ enum class CombineMode : u8 {
   return m == CombineMode::kFirstLabel ? "first-label" : "cross-product";
 }
 
+/// How classify_batch() drives phase 2 (a software decision; free).
+enum class BatchMode : u8 {
+  /// Packet-at-a-time: classify() per header (the pre-batching path,
+  /// kept as the A/B reference).
+  kScalar,
+  /// True batch engine: per-dimension keys are gathered and sorted for
+  /// the whole batch, each engine walks once per distinct-key run
+  /// (shared trie nodes touched once per batch), and the cross-product
+  /// combiner memoizes repeated label combinations per batch. Modeled
+  /// per-packet costs are preserved exactly (memory accesses always;
+  /// cycles too unless the probe memo is on, which can only lower them).
+  kPhase2,
+};
+
+[[nodiscard]] constexpr const char* to_string(BatchMode m) {
+  return m == BatchMode::kScalar ? "scalar" : "phase2";
+}
+
 /// Full device configuration.
 struct ClassifierConfig {
   IpAlgorithm ip_algorithm = IpAlgorithm::kMbt;
   CombineMode combine_mode = CombineMode::kFirstLabel;
+  /// classify_batch() strategy (classify() is always scalar).
+  BatchMode batch_mode = BatchMode::kPhase2;
+  /// Per-batch combination-probe memo in the combiner (phase-2 only).
+  bool batch_probe_memo = true;
+  /// Slots of that memo (rounded up to a power of two).
+  u32 batch_memo_slots = 512;
 
   /// Geometry of each of the four IP-segment MBT engines.
   alg::MbtConfig mbt{};

@@ -3,6 +3,19 @@
 /// (Tables VI/VII and the §VI conclusion): at fmax = 133.51 MHz a fully
 /// pipelined MBT lookup sustains 133.51 M lookups/s, i.e. 42.7 Gbps of
 /// 40-byte packets or >100 Gbps of 100-byte packets.
+///
+/// Cycle-charging contract these conversions rest on (and which every
+/// lookup entry point — scalar or phase-2 batch — must preserve):
+/// `cycles_per_packet` is the end-to-end latency of one lookup as
+/// accumulated by hw::CycleRecorder charges — 1 cycle of header split,
+/// plus the *maximum* over the 7 parallel dimension engines (each
+/// memory read charges its block's read_cycles and one access), plus
+/// the serial tail (1 cycle label merge, then per Rule Filter probe:
+/// one hash cycle and one read per slot walked — or, on a batch-memo
+/// hit, one cycle plus the replaced probe's reads; see
+/// core::ProbeMemo). The batch engine may lower cycles via memo hits
+/// but never changes memory-access counts, so rates derived here stay
+/// comparable across batch modes.
 #pragma once
 
 #include "common/types.hpp"

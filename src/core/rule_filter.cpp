@@ -1,8 +1,16 @@
 #include "core/rule_filter.hpp"
 
+#include <bit>
+
 #include "common/error.hpp"
 
 namespace pclass::core {
+
+ProbeMemo::ProbeMemo(u32 slots) {
+  const u32 n = std::bit_ceil(std::max<u32>(slots, 16));
+  entries_.resize(n);
+  mask_ = n - 1;
+}
 
 RuleFilter::RuleFilter(const std::string& name, u32 depth, u32 max_probes,
                        u64 hash_seed)
@@ -190,6 +198,38 @@ std::optional<RuleEntry> RuleFilter::lookup(const Key68& key,
     }
   }
   return std::nullopt;
+}
+
+std::optional<RuleEntry> RuleFilter::lookup_memo(const Key68& key,
+                                                 hw::CycleRecorder* rec,
+                                                 ProbeMemo& memo,
+                                                 u64& memo_hits) const {
+  // Cheap multiply-shift slot hash: the memo sits on every probe of the
+  // batch path, so the miss cost must stay at one compare + one store.
+  const u64 x = (key.lo64() ^ (u64{key.hi4()} << 60)) *
+                0x9E3779B97F4A7C15ULL;
+  ProbeMemo::Entry& e = memo.entries_[static_cast<u32>(x >> 40) & memo.mask_];
+  if (e.gen == memo.gen_ && e.key == key) {
+    // Combination-cache hit: one tag-compare cycle, plus the memory
+    // reads of the probe it replaces (access calibration — see the
+    // ProbeMemo contract).
+    if (rec != nullptr) {
+      rec->charge(1, e.probe_accesses);
+    }
+    ++memo_hits;
+    return e.matched ? std::optional<RuleEntry>(e.entry) : std::nullopt;
+  }
+  hw::CycleRecorder probe;
+  const std::optional<RuleEntry> verdict = lookup(key, &probe);
+  if (rec != nullptr) {
+    rec->charge(probe.cycles(), probe.memory_accesses());
+  }
+  e.key = key;
+  e.gen = memo.gen_;
+  e.matched = verdict.has_value();
+  e.entry = verdict.value_or(RuleEntry{});
+  e.probe_accesses = static_cast<u32>(probe.memory_accesses());
+  return verdict;
 }
 
 }  // namespace pclass::core

@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/hash.hpp"
 #include "common/key68.hpp"
@@ -30,6 +31,55 @@ struct RuleEntry {
 
   friend constexpr auto operator<=>(const RuleEntry&,
                                     const RuleEntry&) = default;
+};
+
+/// Per-batch combination-probe memo for the phase-3/4 combiner: a small
+/// open-addressed map from a 68-bit label combination to its cached
+/// verdict, reset (O(1), generation bump) at every batch boundary.
+/// Models a tiny combination cache in front of the Rule Filter: batches
+/// with repeated label combinations (fw-like traffic) resolve repeats
+/// in one cycle instead of re-walking hash + probe chain.
+///
+/// Cycle-charging contract (preserved by RuleFilter::lookup_memo): a
+/// memo hit returns the identical verdict and charges the identical
+/// modeled *memory accesses* as the probe it replaces — so the paper's
+/// access-count tables stay calibrated and per-packet memory_accesses
+/// are invariant under the memo — but only one cycle of latency (the
+/// tag compare short-circuits the hash + probe walk). Per-packet cycles
+/// are therefore <= the scalar path's, never different in accesses.
+class ProbeMemo {
+ public:
+  static constexpr u32 kDefaultSlots = 512;
+
+  /// \p slots is rounded up to a power of two (>= 16). An overflowing
+  /// cluster simply stops memoizing (correctness is unaffected; the
+  /// probe runs for real).
+  explicit ProbeMemo(u32 slots = kDefaultSlots);
+
+  /// New batch: invalidate every cached combination in O(1).
+  void reset() { ++gen_; }
+
+  [[nodiscard]] u32 slots() const { return static_cast<u32>(entries_.size()); }
+
+ private:
+  friend class RuleFilter;
+
+  struct Entry {
+    Key68 key{};
+    u64 gen = 0;  ///< live iff == ProbeMemo::gen_
+    bool matched = false;
+    RuleEntry entry{};
+    u32 probe_accesses = 0;  ///< reads the memoized probe performed
+  };
+
+  // Direct-mapped on purpose: a memo miss must cost one compare and one
+  // overwrite, because low-reuse workloads (acl-like cross-products,
+  // where nearly every combination is fresh) pay it on every probe.
+  // A colliding hot combination merely re-probes — correctness never
+  // depends on the memo's hit rate.
+  std::vector<Entry> entries_;
+  u64 gen_ = 1;
+  u32 mask_ = 0;
 };
 
 /// Hashed rule memory.
@@ -73,9 +123,26 @@ class RuleFilter {
 
   // ---- hardware-side lookup path ----
 
-  /// Probe for \p key: one hash cycle plus one memory read per probe.
+  /// Probe for \p key. Cycle-charging contract: one hash-unit cycle,
+  /// then one memory read (1 cycle + 1 access) per slot walked along
+  /// the linear-probe chain, all charged into \p rec (nullptr = an
+  /// uncounted controller-side peek). The cost of probing a given key
+  /// is deterministic while the table is unchanged — which is what
+  /// makes the ProbeMemo's cost replay exact.
   [[nodiscard]] std::optional<RuleEntry> lookup(const Key68& key,
                                                 hw::CycleRecorder* rec) const;
+
+  /// Memoizing probe (the batch combiner's entry point): consult
+  /// \p memo first; on a hit charge one cycle plus the replaced probe's
+  /// memory accesses (see ProbeMemo's contract) and bump \p memo_hits;
+  /// on a miss run the real probe, charge its true cost, and memoize
+  /// the (verdict, access-count) pair for the rest of the batch.
+  /// The table must not be mutated between memo.reset() calls — the
+  /// dataplane guarantees this by classifying against frozen snapshots.
+  [[nodiscard]] std::optional<RuleEntry> lookup_memo(const Key68& key,
+                                                     hw::CycleRecorder* rec,
+                                                     ProbeMemo& memo,
+                                                     u64& memo_hits) const;
 
   // ---- introspection ----
 

@@ -129,12 +129,13 @@ void ClassifierElement::push_batch(net::PacketBatch& batch) {
     }
   }
   res_.assign(keys_.size(), core::ClassifyResult{});
-  snap->classifier().classify_batch(keys_, res_);
+  snap->classifier().classify_batch(keys_, res_, scratch_);
   lookups_ += keys_.size();
 
   for (usize k = 0; k < slots_.size(); ++k) {
     net::PacketMeta& m = batch.meta(slots_[k]);
     const core::ClassifyResult& r = res_[k];
+    memo_hits_ += r.memo_hits;
     m.resolved = true;
     m.lookup_cycles += r.cycles;
     m.memory_accesses += r.memory_accesses;

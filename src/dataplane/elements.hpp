@@ -166,8 +166,11 @@ class FlowCacheElement : public Element {
 };
 
 /// Phases 2-4: acquire the current RuleProgram (one atomic load per
-/// batch), run the 4-phase lookup for every unresolved packet via the
-/// batch entry point, and stamp the batch with the snapshot version.
+/// batch), feed every unresolved packet through the classifier's batch
+/// entry point in one call (under BatchMode::kPhase2 that is the
+/// sorted-key batch engine with the per-batch probe memo; the element
+/// owns the reusable BatchScratch so steady-state batches allocate
+/// nothing), and stamp the batch with the snapshot version.
 class ClassifierElement : public Element {
  public:
   explicit ClassifierElement(const RuleProgramPublisher* programs,
@@ -177,6 +180,8 @@ class ClassifierElement : public Element {
   void push_batch(net::PacketBatch& batch) override;
 
   [[nodiscard]] u64 lookups() const { return lookups_; }
+  /// Rule Filter probes served by the per-batch combination memo.
+  [[nodiscard]] u64 probe_memo_hits() const { return memo_hits_; }
   /// Lowest/highest snapshot version observed; both 0 when the worker
   /// never processed a batch (the sentinel must not leak into reports).
   [[nodiscard]] u64 min_version() const {
@@ -191,7 +196,9 @@ class ClassifierElement : public Element {
   std::vector<net::FiveTuple> keys_;       // scratch, reused per batch
   std::vector<core::ClassifyResult> res_;  // scratch, reused per batch
   std::vector<usize> slots_;               // scratch, reused per batch
+  core::BatchScratch scratch_;             // phase-2 engine scratch
   u64 lookups_ = 0;
+  u64 memo_hits_ = 0;
   u64 min_version_ = std::numeric_limits<u64>::max();
   u64 max_version_ = 0;
   bool monotonic_ = true;

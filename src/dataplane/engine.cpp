@@ -126,6 +126,7 @@ EngineReport Engine::collect() const {
     r.cache_hits = w.sink->cache_hits();
     r.classifier_lookups = w.classifier->lookups();
     r.memory_accesses = w.sink->memory_accesses();
+    r.probe_memo_hits = w.classifier->probe_memo_hits();
     r.cache_misses = w.cache == nullptr ? 0 : w.cache->stats().misses;
     r.min_version = w.classifier->min_version();
     r.max_version = w.classifier->max_version();

@@ -15,12 +15,15 @@
 
 namespace pclass::dataplane {
 
-/// Log2-bucketed histogram of per-packet lookup latency (in modelled
-/// device cycles). Constant memory, O(1) record, good-enough percentile
-/// resolution for a scaling curve (each bucket spans one power of two).
+/// Log-linear histogram of per-packet lookup latency (in modelled
+/// device cycles): four sub-buckets per power of two (HDR-histogram
+/// style, 2 mantissa bits), so percentiles resolve to within ~12.5%
+/// instead of the 2x a pure log2 bucketing gives — fine enough that a
+/// 25% p99 shift (e.g. the batch engine's probe memo on fw-like sets)
+/// is visible in the scenario reports. Constant memory, O(1) record.
 class LatencyHistogram {
  public:
-  static constexpr usize kBuckets = 64;
+  static constexpr usize kBuckets = 256;
 
   void record(u64 cycles) {
     ++buckets_[bucket_of(cycles)];
@@ -58,19 +61,31 @@ class LatencyHistogram {
     for (usize i = 0; i < kBuckets; ++i) {
       seen += buckets_[i];
       if (static_cast<double>(seen) >= target && buckets_[i] > 0) {
-        const u64 lo = i == 0 ? 0 : (u64{1} << (i - 1));
-        return std::clamp(lo, min_, max_);
+        return std::clamp(bucket_floor(i), min_, max_);
       }
     }
     return max_;
   }
 
  private:
+  // Log-linear indexing: values < 4 get their own bucket; above that,
+  // the exponent selects a group of 4 sub-buckets addressed by the two
+  // bits after the leading one.
   [[nodiscard]] static usize bucket_of(u64 v) {
-    // bit_width(v) is 64 for v >= 2^63; clamp into the last bucket.
-    return v == 0 ? 0
-                  : std::min<usize>(static_cast<usize>(std::bit_width(v)),
-                                    kBuckets - 1);
+    if (v < 4) return static_cast<usize>(v);
+    const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;  // >= 2
+    const u64 sub = (v >> (e - 2)) & 3;
+    return std::min<usize>(4 * static_cast<usize>(e - 2) +
+                               static_cast<usize>(sub) + 4,
+                           kBuckets - 1);
+  }
+
+  /// Smallest value mapping to bucket \p i (inverse of bucket_of).
+  [[nodiscard]] static u64 bucket_floor(usize i) {
+    if (i < 4) return static_cast<u64>(i);
+    const unsigned e = static_cast<unsigned>((i - 4) / 4) + 2;
+    const u64 sub = (i - 4) % 4;
+    return (u64{4} + sub) << (e - 2);
   }
 
   std::array<u64, kBuckets> buckets_{};
@@ -92,6 +107,7 @@ struct WorkerReport {
   u64 cache_misses = 0;
   u64 classifier_lookups = 0;  ///< full 4-phase lookups (cache misses)
   u64 memory_accesses = 0;     ///< modelled block-memory reads (per-worker)
+  u64 probe_memo_hits = 0;     ///< combiner probes served by the batch memo
   u64 min_version = 0;   ///< lowest rule-program version observed
   u64 max_version = 0;   ///< highest rule-program version observed
   bool version_monotonic = true;  ///< versions never went backwards

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <functional>
 #include <ostream>
 
 #include "baseline/linear_search.hpp"
 #include "common/error.hpp"
 #include "dataplane/engine.hpp"
+#include "workload/binio.hpp"
 #include "workload/json_writer.hpp"
 #include "workload/ruleset_synth.hpp"
 #include "workload/trace_synth.hpp"
@@ -26,6 +29,37 @@ usize scaled(usize base, double scale, usize floor_value) {
       floor_value, static_cast<usize>(static_cast<double>(base) * scale));
 }
 
+/// A scenario's input artifacts (the storm schedule is re-derived from
+/// the rules, so these two files pin the whole workload).
+struct ScenarioWorkload {
+  ruleset::RuleSet rules;
+  net::Trace trace;
+};
+
+/// Resolve a scenario's workload: load the versioned PCR1/PCT1 files
+/// when --load-workloads is set, synthesize otherwise, and save when
+/// --save-workloads is set (loading + saving round-trips the bytes).
+ScenarioWorkload obtain_workload(
+    const ScenarioOptions& opts, const std::string& name,
+    const std::function<ScenarioWorkload()>& synth) {
+  ScenarioWorkload w =
+      opts.load_workloads_dir.empty()
+          ? synth()
+          : ScenarioWorkload{
+                binio::load_ruleset_file(opts.load_workloads_dir + "/" +
+                                         name + ".rules.pcr1"),
+                binio::load_trace_file(opts.load_workloads_dir + "/" + name +
+                                       ".trace.pct1")};
+  if (!opts.save_workloads_dir.empty()) {
+    std::filesystem::create_directories(opts.save_workloads_dir);
+    binio::save_ruleset_file(
+        opts.save_workloads_dir + "/" + name + ".rules.pcr1", w.rules);
+    binio::save_trace_file(
+        opts.save_workloads_dir + "/" + name + ".trace.pct1", w.trace);
+  }
+  return w;
+}
+
 /// Copy the engine-side measurement into the result.
 void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
   r.packets_processed = rep.packets();
@@ -43,6 +77,7 @@ void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
     hits += w.cache_hits;
     misses += w.cache_misses;
     r.memory_accesses += w.memory_accesses;
+    r.probe_memo_hits += w.probe_memo_hits;
     if (w.max_version == 0 && w.min_version == 0 && w.packets == 0) {
       continue;  // idle worker: no versions observed
     }
@@ -89,10 +124,12 @@ void verify_oracle(ScenarioResult& r, const RuleProgramPublisher& programs,
 
 /// Device configuration sized for the scenario (exact lookup mode).
 core::ClassifierConfig scenario_config(const ruleset::RuleSet& rules,
-                                       usize extra_headroom) {
+                                       usize extra_headroom,
+                                       const ScenarioOptions& opts) {
   core::ClassifierConfig cfg =
       core::ClassifierConfig::for_scale(rules.size() + extra_headroom);
   cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact lookups
+  cfg.batch_mode = opts.batch_mode;
   return cfg;
 }
 
@@ -101,7 +138,7 @@ void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
                 const ruleset::RuleSet& rules, const net::Trace& trace) {
   r.rules = rules.size();
   r.trace_packets = trace.size();
-  RuleProgramPublisher programs(scenario_config(rules, 0));
+  RuleProgramPublisher programs(scenario_config(rules, 0, opts));
   programs.install_ruleset(rules);
   TrafficPool pool =
       TrafficPool::from_trace(trace, /*materialize_packets=*/false);
@@ -117,65 +154,89 @@ void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
 // ---- scenario bodies ------------------------------------------------------
 
 ScenarioResult run_family(const ScenarioOptions& opts,
+                          const std::string& name,
                           const std::string& family) {
   ScenarioResult r;
-  const usize rules_n = scaled(family == "fw" ? 1500 : 2000, opts.scale, 96);
-  const usize packets = scaled(60'000, opts.scale, 2048);
-  RulesetProfile rp = RulesetProfile::by_family(family, rules_n, opts.seed);
-  const ruleset::RuleSet rules = synthesize(rp);
-  TraceSynthesizer ts(rules,
-                      TraceProfile::standard(packets, opts.seed ^ 0xABCD));
-  const net::Trace trace = ts.generate();
-  run_finite(r, opts, rules, trace);
+  const ScenarioWorkload w = obtain_workload(opts, name, [&] {
+    const usize rules_n =
+        scaled(family == "fw" ? 1500 : 2000, opts.scale, 96);
+    const usize packets = scaled(60'000, opts.scale, 2048);
+    RulesetProfile rp = RulesetProfile::by_family(family, rules_n, opts.seed);
+    ruleset::RuleSet rules = synthesize(rp);
+    TraceSynthesizer ts(rules,
+                        TraceProfile::standard(packets, opts.seed ^ 0xABCD));
+    net::Trace trace = ts.generate();
+    return ScenarioWorkload{std::move(rules), std::move(trace)};
+  });
+  run_finite(r, opts, w.rules, w.trace);
   return r;
 }
 
-ScenarioResult run_zipf_locality(const ScenarioOptions& opts) {
+ScenarioResult run_zipf_locality(const ScenarioOptions& opts,
+                                 const std::string& name) {
   ScenarioResult r;
-  const ruleset::RuleSet rules = synthesize(
-      RulesetProfile::acl(scaled(1200, opts.scale, 96), opts.seed));
-  TraceSynthesizer ts(rules,
-                      TraceProfile::zipf_heavy(
-                          scaled(80'000, opts.scale, 2048),
-                          opts.seed ^ 0x21BF));
-  const net::Trace trace = ts.generate();
-  run_finite(r, opts, rules, trace);
+  const ScenarioWorkload w = obtain_workload(opts, name, [&] {
+    ruleset::RuleSet rules = synthesize(
+        RulesetProfile::acl(scaled(1200, opts.scale, 96), opts.seed));
+    TraceSynthesizer ts(rules,
+                        TraceProfile::zipf_heavy(
+                            scaled(80'000, opts.scale, 2048),
+                            opts.seed ^ 0x21BF));
+    net::Trace trace = ts.generate();
+    return ScenarioWorkload{std::move(rules), std::move(trace)};
+  });
+  run_finite(r, opts, w.rules, w.trace);
   return r;
 }
 
-ScenarioResult run_cache_thrash(const ScenarioOptions& opts) {
+ScenarioResult run_cache_thrash(const ScenarioOptions& opts,
+                                const std::string& name) {
   ScenarioResult r;
-  const ruleset::RuleSet rules = synthesize(
-      RulesetProfile::acl(scaled(1200, opts.scale, 96), opts.seed));
-  // 8x more concurrently-active flows than cache lines: worker-local
-  // repeat distance exceeds the cache even when N workers partition the
-  // stream, so hits stay near zero.
-  const usize flows = std::max<usize>(usize{opts.flow_cache_depth} * 8, 64);
-  const net::Trace trace = make_cache_thrash_trace(
-      rules, scaled(60'000, opts.scale, 2048), flows, opts.seed ^ 0x7447);
-  run_finite(r, opts, rules, trace);
+  const ScenarioWorkload w = obtain_workload(opts, name, [&] {
+    ruleset::RuleSet rules = synthesize(
+        RulesetProfile::acl(scaled(1200, opts.scale, 96), opts.seed));
+    // 8x more concurrently-active flows than cache lines: worker-local
+    // repeat distance exceeds the cache even when N workers partition
+    // the stream, so hits stay near zero.
+    const usize flows =
+        std::max<usize>(usize{opts.flow_cache_depth} * 8, 64);
+    net::Trace trace = make_cache_thrash_trace(
+        rules, scaled(60'000, opts.scale, 2048), flows, opts.seed ^ 0x7447);
+    return ScenarioWorkload{std::move(rules), std::move(trace)};
+  });
+  run_finite(r, opts, w.rules, w.trace);
   return r;
 }
 
-ScenarioResult run_trie_depth(const ScenarioOptions& opts) {
+ScenarioResult run_trie_depth(const ScenarioOptions& opts,
+                              const std::string& name) {
   ScenarioResult r;
-  const ruleset::RuleSet rules = synthesize(
-      RulesetProfile::acl(scaled(1600, opts.scale, 96), opts.seed));
-  const net::Trace trace = make_trie_depth_trace(
-      rules, scaled(60'000, opts.scale, 2048), opts.seed ^ 0xDEEF);
-  run_finite(r, opts, rules, trace);
+  const ScenarioWorkload w = obtain_workload(opts, name, [&] {
+    ruleset::RuleSet rules = synthesize(
+        RulesetProfile::acl(scaled(1600, opts.scale, 96), opts.seed));
+    net::Trace trace = make_trie_depth_trace(
+        rules, scaled(60'000, opts.scale, 2048), opts.seed ^ 0xDEEF);
+    return ScenarioWorkload{std::move(rules), std::move(trace)};
+  });
+  run_finite(r, opts, w.rules, w.trace);
   return r;
 }
 
-ScenarioResult run_update_storm(const ScenarioOptions& opts) {
+ScenarioResult run_update_storm(const ScenarioOptions& opts,
+                                const std::string& name) {
   ScenarioResult r;
-  const ruleset::RuleSet rules = synthesize(
-      RulesetProfile::acl(scaled(1000, opts.scale, 96), opts.seed));
-  TraceSynthesizer ts(rules,
-                      TraceProfile::standard(
-                          scaled(40'000, opts.scale, 2048),
-                          opts.seed ^ 0xABCD));
-  const net::Trace trace = ts.generate();
+  const ScenarioWorkload w = obtain_workload(opts, name, [&] {
+    ruleset::RuleSet rules = synthesize(
+        RulesetProfile::acl(scaled(1000, opts.scale, 96), opts.seed));
+    TraceSynthesizer ts(rules,
+                        TraceProfile::standard(
+                            scaled(40'000, opts.scale, 2048),
+                            opts.seed ^ 0xABCD));
+    net::Trace trace = ts.generate();
+    return ScenarioWorkload{std::move(rules), std::move(trace)};
+  });
+  const ruleset::RuleSet& rules = w.rules;
+  const net::Trace& trace = w.trace;
   r.rules = rules.size();
   r.trace_packets = trace.size();
 
@@ -189,7 +250,7 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts) {
       make_update_storm(rules, updates, /*first_id=*/60'000,
                         opts.seed ^ 0x5707);
 
-  RuleProgramPublisher programs(scenario_config(rules, 512));
+  RuleProgramPublisher programs(scenario_config(rules, 512, opts));
   programs.install_ruleset(rules);
   const u64 version_before = programs.version();
   TrafficPool pool =
@@ -271,13 +332,13 @@ ScenarioResult ScenarioRunner::run(const std::string& name) {
 
   ScenarioResult r;
   try {
-    if (name == "acl-like") r = run_family(opts_, "acl");
-    else if (name == "fw-like") r = run_family(opts_, "fw");
-    else if (name == "ipc-like") r = run_family(opts_, "ipc");
-    else if (name == "zipf-locality") r = run_zipf_locality(opts_);
-    else if (name == "cache-thrash") r = run_cache_thrash(opts_);
-    else if (name == "trie-depth") r = run_trie_depth(opts_);
-    else if (name == "update-storm") r = run_update_storm(opts_);
+    if (name == "acl-like") r = run_family(opts_, name, "acl");
+    else if (name == "fw-like") r = run_family(opts_, name, "fw");
+    else if (name == "ipc-like") r = run_family(opts_, name, "ipc");
+    else if (name == "zipf-locality") r = run_zipf_locality(opts_, name);
+    else if (name == "cache-thrash") r = run_cache_thrash(opts_, name);
+    else if (name == "trie-depth") r = run_trie_depth(opts_, name);
+    else if (name == "update-storm") r = run_update_storm(opts_, name);
   } catch (const std::exception& e) {
     r.error = e.what();
   }
@@ -311,6 +372,7 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   j.key("flow_cache_depth").value(opts.flow_cache_depth);
   j.key("scale").value(opts.scale);
   j.key("seed").value(u64{opts.seed});
+  j.key("batch_mode").value(std::string(to_string(opts.batch_mode)));
   j.end_object();
   j.key("scenarios").begin_array();
   for (const ScenarioResult& r : results) {
@@ -332,6 +394,7 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
     j.end_object();
     j.key("cache_hit_rate").value(r.cache_hit_rate);
     j.key("memory_accesses").value(r.memory_accesses);
+    j.key("probe_memo_hits").value(r.probe_memo_hits);
     j.key("snapshot").begin_object();
     j.key("min_version").value(r.snapshot_min_version);
     j.key("max_version").value(r.snapshot_max_version);

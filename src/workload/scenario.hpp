@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hpp"
 #include "net/packet_batch.hpp"
 
 namespace pclass::workload {
@@ -28,6 +29,18 @@ struct ScenarioOptions {
   /// Multiplier on ruleset/trace sizes (CI smoke runs ~0.15).
   double scale = 1.0;
   u64 seed = 2026;
+  /// classify_batch() strategy for every scenario's device (the
+  /// phase-2 vs scalar A/B knob; modeled results are identical, host
+  /// throughput is not).
+  core::BatchMode batch_mode = core::BatchMode::kPhase2;
+  /// When non-empty, write each scenario's synthesized workload to
+  /// DIR/<scenario>.rules.pcr1 + DIR/<scenario>.trace.pct1 (versioned
+  /// binio formats, byte-stable across hosts).
+  std::string save_workloads_dir;
+  /// When non-empty, load workloads from that directory instead of
+  /// re-synthesizing — cross-PR perf comparisons become byte-identical
+  /// instead of merely seed-identical.
+  std::string load_workloads_dir;
 };
 
 /// One scenario's measurement + verification outcome.
@@ -50,6 +63,7 @@ struct ScenarioResult {
   u64 max_cycles = 0;
   double cache_hit_rate = 0;
   u64 memory_accesses = 0;  ///< per-worker recorder totals, summed
+  u64 probe_memo_hits = 0;  ///< combiner probes served by the batch memo
 
   // Snapshot consistency.
   u64 snapshot_min_version = 0;

@@ -6,14 +6,25 @@
 ///
 ///   pclass_classify <rules_file> <trace_file> [--alg mbt|bst]
 ///                   [--mode first|cross] [--verify]
+///                   [--batch-mode scalar|phase2]
 ///                   [--workers N] [--batch B] [--cache DEPTH]
 ///
 /// With --workers the trace runs through the batched dataplane engine
 /// (N worker threads, per-worker flow caches, lock-free rule snapshots)
 /// instead of the single-threaded classify loop.
+///
+/// --batch-mode selects how batches run phase 2 (the A/B knob): scalar
+/// = packet-at-a-time, phase2 = sorted-key batch engine with the
+/// per-batch probe memo. It applies to the engine path and to the
+/// single-threaded loop (which then classifies in batches of --batch
+/// and reports host throughput, so the two modes can be compared
+/// directly). Default: phase2.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "baseline/linear_search.hpp"
 #include "common/parse.hpp"
@@ -31,8 +42,8 @@ namespace {
 int usage() {
   std::cerr << "usage: pclass_classify <rules_file> <trace_file> "
                "[--alg mbt|bst] [--mode first|cross] [--verify]\n"
-               "                       [--workers N [--batch B] "
-               "[--cache DEPTH]]\n"
+               "                       [--batch-mode scalar|phase2] "
+               "[--workers N [--batch B] [--cache DEPTH]]\n"
                "(--batch/--cache configure the dataplane engine and "
                "require --workers)\n";
   return 2;
@@ -97,9 +108,13 @@ int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
   t.print(std::cout);
 
   const auto lat = rep.merged_latency();
+  u64 memo_hits = 0;
+  for (const auto& w : rep.workers) memo_hits += w.probe_memo_hits;
   TextTable a({"metric", "value"});
   a.add_row({"engine", std::to_string(workers) + " workers x batch " +
-                           std::to_string(batch)});
+                           std::to_string(batch) + " (" +
+                           to_string(cfg.batch_mode) + ")"});
+  a.add_row({"probe memo hits", std::to_string(memo_hits)});
   a.add_row({"load cost", std::to_string(load.cycles) + " bus cycles (1 "
                           "coalesced snapshot)"});
   a.add_row({"packets", std::to_string(rep.packets())});
@@ -142,6 +157,7 @@ int main(int argc, char** argv) {
   }
   core::IpAlgorithm alg = core::IpAlgorithm::kMbt;
   core::CombineMode mode = core::CombineMode::kCrossProduct;
+  core::BatchMode batch_mode = core::BatchMode::kPhase2;
   bool verify = false;
   usize workers = 0;  // 0 = classic single-threaded loop
   usize batch = net::kDefaultBatchCapacity;
@@ -153,7 +169,7 @@ int main(int argc, char** argv) {
       if (!parse_count(argv[++i], n)) return usage();
       workers = static_cast<usize>(n);
     } else if (flag == "--batch" && i + 1 < argc) {
-      if (!parse_count(argv[++i], n)) return usage();
+      if (!parse_count(argv[++i], n) || n == 0) return usage();
       batch = static_cast<usize>(n);
     } else if (flag == "--cache" && i + 1 < argc) {
       if (!parse_count(argv[++i], n)) return usage();
@@ -171,6 +187,11 @@ int main(int argc, char** argv) {
       const std::string v = argv[++i];
       if (v == "first") mode = core::CombineMode::kFirstLabel;
       else if (v == "cross") mode = core::CombineMode::kCrossProduct;
+      else return usage();
+    } else if (flag == "--batch-mode" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "scalar") batch_mode = core::BatchMode::kScalar;
+      else if (v == "phase2") batch_mode = core::BatchMode::kPhase2;
       else return usage();
     } else if (flag == "--verify") {
       verify = true;
@@ -193,27 +214,45 @@ int main(int argc, char** argv) {
         core::ClassifierConfig::for_scale(rules.size());
     cfg.ip_algorithm = alg;
     cfg.combine_mode = mode;
+    cfg.batch_mode = batch_mode;
 
     if (workers > 0) {
       return run_engine(rules, trace, cfg, workers, batch, cache_depth,
                         verify);
     }
-    if (batch != net::kDefaultBatchCapacity || cache_depth != 0) {
-      std::cerr << "note: --batch/--cache configure the dataplane engine "
-                   "and have no effect without --workers\n";
+    if (cache_depth != 0) {
+      std::cerr << "note: --cache configures the dataplane engine "
+                   "and has no effect without --workers\n";
     }
 
     core::ConfigurableClassifier clf(cfg);
     const auto load = clf.add_rules(rules);
 
+    // Single-threaded loop, batched: the --batch-mode A/B runs over the
+    // same headers with host wall time measured around the batch calls.
     hw::CycleAggregate agg;
     usize hits = 0;
-    for (const auto& e : trace) {
-      const auto res = clf.classify(e.header);
+    u64 memo_hits = 0;
+    std::vector<net::FiveTuple> headers;
+    headers.reserve(trace.size());
+    for (const auto& e : trace) headers.push_back(e.header);
+    std::vector<core::ClassifyResult> results(headers.size());
+    core::BatchScratch scratch;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (usize off = 0; off < headers.size(); off += batch) {
+      const usize len = std::min(batch, headers.size() - off);
+      clf.classify_batch(std::span(headers).subspan(off, len),
+                         std::span(results).subspan(off, len), scratch);
+    }
+    const double host_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (const auto& res : results) {
       hw::CycleRecorder rec;
       rec.charge(res.cycles, res.memory_accesses);
       agg.add(rec);
       if (res.match) ++hits;
+      memo_hits += res.memo_hits;
     }
 
     const core::ThroughputModel rate{cfg.fmax_mhz};
@@ -221,7 +260,18 @@ int main(int argc, char** argv) {
         clf.lookup_pipeline().initiation_interval());
     TextTable t({"metric", "value"});
     t.add_row({"configuration", std::string(to_string(alg)) + " / " +
-                                    to_string(mode)});
+                                    to_string(mode) + " / batch " +
+                                    to_string(batch_mode)});
+    t.add_row({"host throughput",
+               TextTable::num(host_secs <= 0
+                                  ? 0.0
+                                  : static_cast<double>(headers.size()) /
+                                        1e6 / host_secs,
+                              3) +
+                   " Mpps (1 thread, batch " + std::to_string(batch) + ")"});
+    if (memo_hits > 0) {
+      t.add_row({"probe memo hits", std::to_string(memo_hits)});
+    }
     t.add_row({"load cost", std::to_string(load.cycles) + " bus cycles (" +
                                 TextTable::num(
                                     static_cast<double>(load.cycles) /

@@ -10,9 +10,16 @@
 ///   pclass_scenario [--list] [--scenario NAME]... [--smoke]
 ///                   [--workers N] [--cache-depth N] [--seed N]
 ///                   [--scale F] [--out FILE]
+///                   [--batch-mode scalar|phase2]
+///                   [--save-workloads DIR] [--load-workloads DIR]
 ///
 /// --smoke shrinks every workload (~6x) for fast CI runs. The report
 /// goes to stdout unless --out names a file.
+///
+/// --save-workloads writes each scenario's synthesized ruleset/trace as
+/// versioned PCR1/PCT1 binaries; --load-workloads replays them instead
+/// of re-synthesizing, so two runs (e.g. scalar vs phase2 batch mode,
+/// or two PRs) measure byte-identical workloads.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,7 +36,8 @@ namespace {
 int usage() {
   std::cerr << "usage: pclass_scenario [--list] [--scenario NAME]... "
                "[--smoke] [--workers N] [--cache-depth N] [--seed N] "
-               "[--scale F] [--out FILE]\n";
+               "[--scale F] [--out FILE] [--batch-mode scalar|phase2] "
+               "[--save-workloads DIR] [--load-workloads DIR]\n";
   return 2;
 }
 
@@ -68,6 +76,15 @@ int main(int argc, char** argv) {
       if (opts.scale <= 0 || opts.scale > 100) return usage();
     } else if (flag == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (flag == "--batch-mode" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "scalar") opts.batch_mode = core::BatchMode::kScalar;
+      else if (v == "phase2") opts.batch_mode = core::BatchMode::kPhase2;
+      else return usage();
+    } else if (flag == "--save-workloads" && i + 1 < argc) {
+      opts.save_workloads_dir = argv[++i];
+    } else if (flag == "--load-workloads" && i + 1 < argc) {
+      opts.load_workloads_dir = argv[++i];
     } else {
       return usage();
     }
@@ -101,6 +118,9 @@ int main(int argc, char** argv) {
                 << static_cast<int>(r.cache_hit_rate * 100) << "%, oracle "
                 << (r.oracle_checked - r.oracle_mismatches) << "/"
                 << r.oracle_checked;
+      if (r.probe_memo_hits > 0) {
+        std::cerr << ", memo " << r.probe_memo_hits;
+      }
       if (r.updates_applied > 0) {
         std::cerr << ", " << r.updates_applied << " updates";
       }
