@@ -1,24 +1,29 @@
 /// \file bench_batch_ablation.cpp
 /// Phase-2 batch engine ablation: scalar vs phase2 (memo off) vs phase2
-/// (memo on) across batch sizes, on three workload shapes —
+/// with the per-batch memo vs phase2 with the persistent snapshot-keyed
+/// memo vs the adaptive path controller, across batch sizes, on three
+/// workload shapes —
 ///
 ///   * fw-like      wildcard-heavy lists, heavy combination reuse
 ///                  (the probe memo's home turf);
-///   * zipf-flows   flow-structured ACL traffic (combine-level dedup:
-///                  duplicate flows inside a batch share one odometer);
+///   * zipf-flows   flow-structured ACL traffic (combine-level dedup +
+///                  cross-batch flow locality: the persistent memo's
+///                  best case vs the per-batch reset);
 ///   * cache-thrash every packet a distinct flow at maximal repeat
 ///                  distance (traffic engineered against batching; the
-///                  adaptive gates must degrade to ~scalar cost).
+///                  controller must degrade to ~scalar cost).
 ///
 /// For each point: single-threaded host throughput over the whole
 /// trace, modeled mean/p99 lookup cycles (exact percentiles, not the
-/// histogram buckets) and probe-memo hits. This is the bench that makes
-/// batch size a performance knob rather than a scheduling unit.
+/// histogram buckets), probe-memo hits and invalidations. The
+/// memo/batch vs memo/persist rows are the per-batch-reset vs
+/// snapshot-keyed lifetime A/B — on byte-identical workloads when
+/// --load-workloads replays scenario-saved PCR1/PCT1 files.
 ///
 /// Correctness gate: every phase-2 verdict and per-packet access count
 /// is compared against the scalar path; any mismatch exits nonzero.
 ///
-/// Usage: bench_batch_ablation [--packets N]
+/// Usage: bench_batch_ablation [--packets N] [--load-workloads DIR]
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -28,6 +33,7 @@
 #include "bench_util.hpp"
 #include "common/parse.hpp"
 #include "net/packet_batch.hpp"
+#include "workload/binio.hpp"
 
 using namespace pclass;
 using namespace pclass::bench;
@@ -39,6 +45,7 @@ struct Point {
   double mean_cycles = 0;
   u64 p99_cycles = 0;
   u64 memo_hits = 0;
+  u64 memo_invalidations = 0;
 };
 
 Point run_point(const core::ConfigurableClassifier& clf,
@@ -58,6 +65,7 @@ Point run_point(const core::ConfigurableClassifier& clf,
 
   Point p;
   p.mpps = secs <= 0 ? 0.0 : static_cast<double>(in.size()) / 1e6 / secs;
+  p.memo_invalidations = scratch.memo_invalidations;
   u64 total = 0;
   std::vector<u64> cycles;
   cycles.reserve(out.size());
@@ -93,16 +101,22 @@ bool equivalent(const std::vector<core::ClassifyResult>& got,
 
 int main(int argc, char** argv) {
   usize packets = 20'000;
+  std::string load_dir;
   u64 n = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--packets" && i + 1 < argc) {
+    const std::string flag = argv[i];
+    if (flag == "--packets" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || n == 0 || n > 10'000'000) {
-        std::cerr << "usage: bench_batch_ablation [--packets N]\n";
+        std::cerr << "usage: bench_batch_ablation [--packets N] "
+                     "[--load-workloads DIR]\n";
         return 2;
       }
       packets = static_cast<usize>(n);
+    } else if (flag == "--load-workloads" && i + 1 < argc) {
+      load_dir = argv[++i];
     } else {
-      std::cerr << "usage: bench_batch_ablation [--packets N]\n";
+      std::cerr << "usage: bench_batch_ablation [--packets N] "
+                   "[--load-workloads DIR]\n";
       return 2;
     }
   }
@@ -112,17 +126,31 @@ int main(int argc, char** argv) {
     Workload w;
   };
   std::vector<Shape> shapes;
-  shapes.push_back(
-      {"fw-like",
-       make_profile_workload(
-           workload::RulesetProfile::fw(1500, 2026),
-           workload::TraceProfile::standard(packets, 2026 ^ 0xABCD))});
-  shapes.push_back(
-      {"zipf-flows",
-       make_profile_workload(
-           workload::RulesetProfile::acl(1200, 2026),
-           workload::TraceProfile::zipf_heavy(packets, 2026 ^ 0x21BF))});
-  {
+  if (!load_dir.empty()) {
+    // Byte-identical replay of the scenario runner's saved workloads
+    // (pclass_scenario --save-workloads DIR), so this ablation and the
+    // scenario reports — and any two PRs — measure the same bytes. The
+    // loaded traces are capped at --packets to keep runtimes bounded.
+    for (const char* name : {"fw-like", "zipf-locality", "cache-thrash"}) {
+      Workload w;
+      w.rules = workload::binio::load_ruleset_file(
+          load_dir + "/" + name + ".rules.pcr1");
+      w.trace = workload::binio::load_trace_file(
+          load_dir + "/" + name + ".trace.pct1");
+      w.trace.truncate(packets);
+      shapes.push_back({name, std::move(w)});
+    }
+  } else {
+    shapes.push_back(
+        {"fw-like",
+         make_profile_workload(
+             workload::RulesetProfile::fw(1500, 2026),
+             workload::TraceProfile::standard(packets, 2026 ^ 0xABCD))});
+    shapes.push_back(
+        {"zipf-flows",
+         make_profile_workload(
+             workload::RulesetProfile::acl(1200, 2026),
+             workload::TraceProfile::zipf_heavy(packets, 2026 ^ 0x21BF))});
     Workload w;
     w.rules = workload::synthesize(workload::RulesetProfile::acl(1200, 2026));
     w.trace = workload::make_cache_thrash_trace(w.rules, packets, 32'768,
@@ -152,30 +180,48 @@ int main(int argc, char** argv) {
     const Point scalar =
         run_point(clf, in, net::kDefaultBatchCapacity, scalar_res);
 
+    // The mode matrix: forced rows isolate one mechanism each (batch
+    // engine alone; + per-batch memo; + persistent memo — the lifetime
+    // A/B), the adaptive row is the shipping configuration (EWMA
+    // controller free to pick any path per batch).
+    struct ModeSpec {
+      const char* name;
+      core::PathPolicy policy;
+      bool memo;
+      bool persistent;
+    };
+    constexpr ModeSpec kModes[] = {
+        {"phase2", core::PathPolicy::kForcePhase2, false, true},
+        {"p2+memo/batch", core::PathPolicy::kForcePhase2, true, false},
+        {"p2+memo/persist", core::PathPolicy::kForcePhase2, true, true},
+        {"adaptive", core::PathPolicy::kAdaptive, true, true},
+    };
+
     TextTable t({"batch", "mode", "Mpps", "vs scalar", "mean cyc",
-                 "p99 cyc", "memo hits"});
+                 "p99 cyc", "memo hits", "inval"});
     t.add_row({"-", "scalar", TextTable::num(scalar.mpps, 3), "1.00x",
                TextTable::num(scalar.mean_cycles, 1),
-               std::to_string(scalar.p99_cycles), "0"});
+               std::to_string(scalar.p99_cycles), "0", "-"});
     for (const usize batch : {usize{8}, usize{32}, usize{128}}) {
-      for (const bool memo : {false, true}) {
+      for (const ModeSpec& mode : kModes) {
         clf.set_batch_mode(core::BatchMode::kPhase2);
-        clf.set_batch_probe_memo(memo);
+        clf.set_batch_path_policy(mode.policy);
+        clf.set_batch_probe_memo(mode.memo);
+        clf.set_batch_memo_persistent(mode.persistent);
         const Point p = run_point(clf, in, batch, out);
         if (!equivalent(out, scalar_res)) {
-          std::cerr << "FAIL: phase2 (batch " << batch << ", memo "
-                    << (memo ? "on" : "off")
+          std::cerr << "FAIL: " << mode.name << " (batch " << batch
                     << ") diverged from the scalar path on " << shape.name
                     << "\n";
           ok = false;
         }
-        t.add_row({std::to_string(batch),
-                   memo ? "phase2+memo" : "phase2",
+        t.add_row({std::to_string(batch), mode.name,
                    TextTable::num(p.mpps, 3),
                    TextTable::num(p.mpps / scalar.mpps, 2) + "x",
                    TextTable::num(p.mean_cycles, 1),
                    std::to_string(p.p99_cycles),
-                   std::to_string(p.memo_hits)});
+                   std::to_string(p.memo_hits),
+                   std::to_string(p.memo_invalidations)});
       }
     }
     t.print(std::cout);

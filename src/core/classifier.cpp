@@ -1,8 +1,11 @@
 #include "core/classifier.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace pclass::core {
 
@@ -15,10 +18,17 @@ hw::SharedRole role_of(IpAlgorithm a) {
 
 constexpr unsigned kSharedWordBits = 33;  // max(MBT entry 29, BST node 33)
 
+/// Process-unique device ids (start at 1; 0 is ProbeMemo's "unbound").
+u64 next_device_id() {
+  static std::atomic<u64> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 ConfigurableClassifier::ConfigurableClassifier(ClassifierConfig cfg)
     : cfg_(cfg),
+      device_id_(next_device_id()),
       ip_tables_{alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kSrcIpHi),
                  alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kSrcIpLo),
                  alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kDstIpHi),
@@ -91,6 +101,10 @@ ruleset::SegmentPrefix ConfigurableClassifier::ip_segment(
 }
 
 hw::UpdateStats ConfigurableClassifier::apply(hw::CommandLog& log) {
+  // Every update-path mutation funnels through here, so bumping the
+  // epoch exactly here is what makes a persistent ProbeMemo safe: the
+  // next bind() sees a new epoch and drops every cached verdict.
+  ++device_epoch_;
   hw::UpdateBus batch;
   for (const hw::UpdateCommand& cmd : log.take()) {
     bus_.charge(cmd);
@@ -530,16 +544,46 @@ void ConfigurableClassifier::classify_batch(
     }
     return;
   }
-  if (scratch.scalar_bypass_remaining > 0) {
-    // Share-free traffic (see BatchScratch::share_window_*): the scalar
-    // loop is the same cost model without the batch scaffolding.
-    --scratch.scalar_bypass_remaining;
+
+  // Pick the execution path: forced by policy, or by the per-scratch
+  // EWMA controller. Every path yields identical verdicts and
+  // per-packet memory accesses, so this only moves host work.
+  const bool memo_eligible = cfg_.batch_probe_memo;
+  BatchPath path = BatchPath::kPhase2;
+  switch (cfg_.batch_path_policy) {
+    case PathPolicy::kForceScalarLoop:
+      path = BatchPath::kScalarLoop;
+      break;
+    case PathPolicy::kForcePhase2:
+      path = memo_eligible ? BatchPath::kPhase2Memo : BatchPath::kPhase2;
+      break;
+    case PathPolicy::kAdaptive:
+      path = scratch.controller.choose(memo_eligible);
+      break;
+  }
+
+  // Host timing only when the controller consumes it: forced policies
+  // skip the two clock reads per batch so forced ablation rows carry no
+  // overhead the scalar baseline doesn't (observe() with a negative
+  // cost still keeps the per-path batch counters truthful).
+  const bool adaptive = cfg_.batch_path_policy == PathPolicy::kAdaptive;
+  std::chrono::steady_clock::time_point t0;
+  if (adaptive) t0 = std::chrono::steady_clock::now();
+  if (path == BatchPath::kScalarLoop) {
     for (usize i = 0; i < in.size(); ++i) {
       out[i] = classify(in[i]);
     }
-    return;
+  } else {
+    classify_batch_phase2(in, out, scratch,
+                          path == BatchPath::kPhase2Memo);
   }
-  classify_batch_phase2(in, out, scratch);
+  double ns = -1.0;
+  if (adaptive) {
+    ns = std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+             .count();
+  }
+  scratch.controller.observe(path, ns, in.size());
 }
 
 namespace {
@@ -554,17 +598,46 @@ BatchScratch::ListReadMemo* find_list_memo(
   return nullptr;
 }
 
+/// Content hash of one dimension's pooled label list, cached per
+/// distinct (off, len) span per batch (identical spans share a pool
+/// range by construction, so the packed span is a perfect cache key).
+u64 span_content_hash(BatchScratch& s, usize d, alg::LabelSpan sp) {
+  const u64 packed = (u64{sp.off} << 32) | sp.len;
+  for (const BatchScratch::SpanHash& c : s.span_hashes[d]) {
+    if (c.packed == packed) return c.hash;
+  }
+  u64 h = mix64(0x5349474E00000000ULL ^ sp.len);
+  for (u32 k = 0; k < sp.len; ++k) {
+    h = mix64(h ^ s.pools[d][sp.off + k].value);
+  }
+  s.span_hashes[d].push_back({packed, h});
+  return h;
+}
+
+/// Exact content equality of two spans of the same dimension pool (the
+/// collision-proof confirm behind a combine-signature match).
+bool span_content_equal(const std::vector<Label>& pool, alg::LabelSpan a,
+                        alg::LabelSpan b) {
+  if (a.off == b.off && a.len == b.len) return true;
+  if (a.len != b.len) return false;
+  for (u32 k = 0; k < a.len; ++k) {
+    if (pool[a.off + k].value != pool[b.off + k].value) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void ConfigurableClassifier::classify_batch_phase2(
     std::span<const net::FiveTuple> in, std::span<ClassifyResult> out,
-    BatchScratch& s) const {
+    BatchScratch& s, bool use_memo) const {
   const usize n = in.size();
   for (usize d = 0; d < kNumDimensions; ++d) {
     s.keys[d].resize(n);
     s.recs[d].assign(n, hw::CycleRecorder{});
     s.pools[d].clear();
     s.spans[d].assign(n, alg::LabelSpan{});
+    s.span_hashes[d].clear();
   }
   for (usize i = 0; i < 4; ++i) {
     s.ip_refs[i].assign(n, alg::ListRef{});
@@ -657,21 +730,26 @@ void ConfigurableClassifier::classify_batch_phase2(
     }
   }
 
-  // The per-batch combination memo. The adaptive gate bypasses the
-  // RuleFilter-level memo (not the combine-level replay) on workloads
-  // where its measured hit rate over a sampling window is negligible —
-  // there it is pure host overhead on every probe.
+  // The combination-probe memo. Persistent (the default): bind to this
+  // device's (id, epoch) — carried over unchanged, cached combinations
+  // from earlier batches of the same program keep serving; any device
+  // change (snapshot swap rotates the worker onto a different replica,
+  // or an in-place update bumped the epoch) drops every entry before a
+  // stale verdict could serve. Per-batch mode (the PR-3 A/B reference)
+  // invalidates unconditionally.
   ProbeMemo* memo = nullptr;
-  if (cfg_.batch_probe_memo) {
-    if (s.memo_bypass_remaining > 0) {
-      --s.memo_bypass_remaining;
-    } else {
-      if (s.memo.slots() < cfg_.batch_memo_slots) {
-        s.memo = ProbeMemo(cfg_.batch_memo_slots);
-      }
-      s.memo.reset();
-      memo = &s.memo;
+  if (use_memo) {
+    if (s.memo.slots() < cfg_.batch_memo_slots) {
+      s.memo = ProbeMemo(cfg_.batch_memo_slots);
     }
+    bool invalidated = true;
+    if (cfg_.batch_memo_persistent) {
+      invalidated = s.memo.bind(device_id_, device_epoch_);
+    } else {
+      s.memo.invalidate();
+    }
+    if (invalidated) ++s.memo_invalidations;
+    memo = &s.memo;
   }
 
   // Phases 3 + 4 per packet, combining the batch-shared phase-2 results.
@@ -729,17 +807,25 @@ void ConfigurableClassifier::classify_batch_phase2(
       tail_cycles = tail.cycles();
       tail_accesses = tail.memory_accesses();
     } else {
-      // Combine-level dedup: packets with identical 7-span signatures
-      // have identical label lists, hence an identical odometer — run
-      // it once per distinct list set and replay verdict + tail cost.
+      // Combine-level dedup: packets whose 7 label lists have identical
+      // *contents* run an identical odometer — run it once per distinct
+      // list set and replay verdict + tail cost. The signature is a
+      // per-dimension content hash (span identity would under-group:
+      // distinct port keys with identical lists get distinct pool
+      // ranges); a signature match is confirmed by exact comparison
+      // against the leader's spans so a hash collision cannot share.
       std::array<u64, kNumDimensions> sig;
       for (usize d = 0; d < kNumDimensions; ++d) {
-        const alg::LabelSpan sp = s.spans[d][p];
-        sig[d] = (u64{sp.off} << 32) | sp.len;
+        sig[d] = span_content_hash(s, d, s.spans[d][p]);
       }
       BatchScratch::CombineMemo* cm = nullptr;
       for (auto& m : s.combine_memo) {
-        if (m.sig == sig) {
+        if (m.sig != sig) continue;
+        bool same = true;
+        for (usize d = 0; d < kNumDimensions && same; ++d) {
+          same = span_content_equal(s.pools[d], m.spans[d], s.spans[d][p]);
+        }
+        if (same) {
           cm = &m;
           break;
         }
@@ -747,6 +833,9 @@ void ConfigurableClassifier::classify_batch_phase2(
       if (cm == nullptr) {
         BatchScratch::CombineMemo fresh;
         fresh.sig = sig;
+        for (usize d = 0; d < kNumDimensions; ++d) {
+          fresh.spans[d] = s.spans[d][p];
+        }
         hw::CycleRecorder tail;
         tail.charge(1, 0);  // label merge network
         bool miss = false;
@@ -798,10 +887,6 @@ void ConfigurableClassifier::classify_batch_phase2(
         }
         fresh.tail_cycles = tail.cycles();
         fresh.tail_accesses = tail.memory_accesses();
-        if (memo != nullptr) {
-          s.memo_window_probes += fresh.probes;
-          s.memo_window_hits += fresh.memo_hits;
-        }
         s.combine_memo.push_back(fresh);
         cm = &s.combine_memo.back();
         res.match = cm->match;
@@ -813,18 +898,13 @@ void ConfigurableClassifier::classify_batch_phase2(
         // Repeat list set. With the combination memo active, every
         // probe of this packet was just cached by its leader: each is
         // served in one cycle, still charging the replaced probe's
-        // reads. With the memo off (or host-bypassed this batch, so
-        // nothing was cached), replay the leader's full tail —
-        // cycle-exact with the scalar path. Repeat hits count toward
-        // the adaptive window: a memo that serves repeats is earning
-        // its keep even when leader cross-set hits are rare.
+        // reads. With the memo off (nothing was cached), replay the
+        // leader's full tail — cycle-exact with the scalar path.
         res.match = cm->match;
         res.crossproduct_probes = cm->probes;
         if (memo != nullptr) {
           res.memo_hits = cm->probes;
           tail_cycles = 1 + cm->probes;
-          s.memo_window_probes += cm->probes;
-          s.memo_window_hits += cm->probes;
         } else {
           res.memo_hits = 0;
           tail_cycles = cm->tail_cycles;
@@ -840,29 +920,6 @@ void ConfigurableClassifier::classify_batch_phase2(
     }
     res.cycles = 1 /*split*/ + phase2_cycles + tail_cycles;
     res.memory_accesses += tail_accesses;
-  }
-
-  // Close the adaptive sampling windows: bypass the RuleFilter-level
-  // memo when it served under 2% of the window's probes, and bypass
-  // the whole phase-2 scaffolding when under 5% of the window's
-  // packets shared a label-list set. Both re-sample after a stretch.
-  if (memo != nullptr && s.memo_window_probes >= 16384) {
-    if (s.memo_window_hits * 50 < s.memo_window_probes) {
-      s.memo_bypass_remaining = 64;
-    }
-    s.memo_window_probes = 0;
-    s.memo_window_hits = 0;
-  }
-  if (cross) {
-    s.share_window_packets += n;
-    s.share_window_repeats += n - s.combine_memo.size();
-    if (s.share_window_packets >= 2048) {
-      if (s.share_window_repeats * 20 < s.share_window_packets) {
-        s.scalar_bypass_remaining = 512;
-      }
-      s.share_window_packets = 0;
-      s.share_window_repeats = 0;
-    }
   }
 }
 

@@ -30,6 +30,7 @@
 #include "alg/port_registers.hpp"
 #include "alg/protocol_lut.hpp"
 #include "core/config.hpp"
+#include "core/path_controller.hpp"
 #include "core/rule_filter.hpp"
 #include "hwsim/pipeline.hpp"
 #include "hwsim/shared_memory.hpp"
@@ -61,8 +62,8 @@ struct ClassifyResult {
   u64 cycles = 0;            ///< end-to-end latency of this lookup
   u64 memory_accesses = 0;   ///< total block-memory reads
   u64 crossproduct_probes = 0;  ///< hash probes issued in phase 3
-  /// Probes served by the per-batch combination memo (0 on the scalar
-  /// path; each hit is also counted in crossproduct_probes).
+  /// Probes served by the snapshot-keyed combination memo (0 on the
+  /// scalar path; each hit is also counted in crossproduct_probes).
   u64 memo_hits = 0;
 };
 
@@ -107,16 +108,22 @@ struct BatchScratch {
   std::array<std::vector<ListReadMemo>, 4> list_memo;
 
   /// One cross-product combine per distinct label-list *set* per batch:
-  /// packets whose 7 spans coincide (duplicate flows; fw-like sets
+  /// packets whose 7 label lists have identical contents (duplicate
+  /// flows; distinct keys whose matching ranges coincide — e.g. two
+  /// dports falling only into the same wildcard range; fw-like sets
   /// where wildcard labels dominate every list) share one odometer run
-  /// and replay its verdict and modeled tail cost. The signature is the
-  /// 7 packed (off, len) spans — span identity implies list identity
-  /// because pools are deduplicated per distinct key/ref. With the
-  /// probe memo on, a repeat packet's probes are modeled as memo hits
-  /// (one cycle + the replaced probe's reads each); with it off the
-  /// leader's full tail is replayed, keeping cycles scalar-exact.
+  /// and replay its verdict and modeled tail cost. The signature is a
+  /// per-dimension *content hash* of the pooled list (span identity
+  /// under-groups: two distinct port keys with identical lists get
+  /// distinct pool ranges); the leader's spans are kept so a signature
+  /// match is confirmed by exact content comparison before sharing —
+  /// a hash collision can never corrupt a verdict. With the probe memo
+  /// on, a repeat packet's probes are modeled as memo hits (one cycle +
+  /// the replaced probe's reads each); with it off the leader's full
+  /// tail is replayed, keeping cycles scalar-exact.
   struct CombineMemo {
     std::array<u64, kNumDimensions> sig{};
+    std::array<alg::LabelSpan, kNumDimensions> spans{};
     std::optional<RuleEntry> match;
     u64 probes = 0;
     u64 memo_hits = 0;
@@ -125,26 +132,32 @@ struct BatchScratch {
   };
   std::vector<CombineMemo> combine_memo;
 
+  /// Per-batch cache of span content hashes: one hash computation per
+  /// distinct (off, len) span per dimension per batch (identical spans
+  /// trivially share; the pools are rebuilt every batch, so this is
+  /// cleared with them).
+  struct SpanHash {
+    u64 packed = 0;  ///< (off << 32) | len
+    u64 hash = 0;
+  };
+  std::array<std::vector<SpanHash>, kNumDimensions> span_hashes;
+
+  /// The snapshot-keyed combination-probe memo (see ProbeMemo's
+  /// lifetime contract): persists across batches, invalidated when the
+  /// device binding changes — never reset at a batch boundary unless
+  /// ClassifierConfig::batch_memo_persistent is off.
   ProbeMemo memo{ProbeMemo::kDefaultSlots};
-  // Adaptive probe-memo gate: when the measured hit rate of the
-  // RuleFilter-level memo stays negligible over a sampling window
-  // (cross-product workloads with no cross-set combination reuse, e.g.
-  // cache-thrash), the memo is bypassed for a stretch of batches so
-  // misses stop paying its host cost. Purely a host-side heuristic:
-  // leaders then probe at full scalar cost (still within the cycles-<=
-  // contract); combine-level replay is unaffected.
-  u64 memo_window_probes = 0;
-  u64 memo_window_hits = 0;
-  u32 memo_bypass_remaining = 0;
-  // Second adaptive gate, one level up: when a sampling window shows no
-  // combine-level sharing either (every packet a distinct label-list
-  // set — traffic engineered against batching, e.g. cache-thrash), the
-  // whole phase-2 scaffolding is skipped for a stretch of batches in
-  // favour of the scalar loop, whose costs the phase-2 path reproduces
-  // exactly. Re-sampled periodically so structured traffic re-engages.
-  u64 share_window_packets = 0;
-  u64 share_window_repeats = 0;
-  u32 scalar_bypass_remaining = 0;
+  /// Times the memo dropped its entries (initial bind, snapshot swap,
+  /// in-place update, or every batch in per-batch mode); surfaced per
+  /// dataplane worker as probe_memo_invalidations.
+  u64 memo_invalidations = 0;
+
+  /// The online path controller (PathPolicy::kAdaptive): EWMA host
+  /// ns/packet per execution path, picked per batch. Replaces the
+  /// hand-tuned 2%/5% window-threshold bypass gates of earlier
+  /// revisions. Also the authoritative per-path batch counters (forced
+  /// policies count here too).
+  PathController controller;
 };
 
 /// The configurable classification device plus its controller shadow.
@@ -189,8 +202,20 @@ class ConfigurableClassifier {
   /// the tools expose as --batch-mode.
   void set_batch_mode(BatchMode mode) { cfg_.batch_mode = mode; }
 
-  /// Toggle the per-batch combination-probe memo (phase-2 only; free).
+  /// Toggle combination-probe memo eligibility (phase-2 only; free).
   void set_batch_probe_memo(bool on) { cfg_.batch_probe_memo = on; }
+
+  /// Toggle the memo's persistent (snapshot-keyed) lifetime; off = the
+  /// per-batch generation reset, kept as the A/B reference (free).
+  void set_batch_memo_persistent(bool on) {
+    cfg_.batch_memo_persistent = on;
+  }
+
+  /// Per-batch execution-path policy (adaptive controller vs forced
+  /// path; software decision, free).
+  void set_batch_path_policy(PathPolicy policy) {
+    cfg_.batch_path_policy = policy;
+  }
 
   // ---- data-plane API (lookup path) ----
 
@@ -230,6 +255,13 @@ class ConfigurableClassifier {
   // ---- introspection ----
 
   [[nodiscard]] const ClassifierConfig& config() const { return cfg_; }
+
+  /// Update epoch of this device: bumped by every update-path mutation
+  /// (rule add/remove/modify, algorithm switch, reseed). Together with
+  /// the process-unique device id this is what a persistent ProbeMemo
+  /// binds cached verdicts to — see ProbeMemo::bind().
+  [[nodiscard]] u64 device_epoch() const { return device_epoch_; }
+
   [[nodiscard]] IpAlgorithm ip_algorithm() const { return cfg_.ip_algorithm; }
   [[nodiscard]] CombineMode combine_mode() const { return cfg_.combine_mode; }
   [[nodiscard]] usize rule_count() const { return installed_.size(); }
@@ -294,10 +326,12 @@ class ConfigurableClassifier {
   [[nodiscard]] alg::ListRef ip_lookup(usize ip_dim_index, u16 key,
                                        hw::CycleRecorder* rec) const;
 
-  /// The BatchMode::kPhase2 engine behind classify_batch().
+  /// The BatchMode::kPhase2 engine behind classify_batch(). \p use_memo
+  /// engages the combination-probe memo (the path controller or a
+  /// forced policy already folded eligibility in).
   void classify_batch_phase2(std::span<const net::FiveTuple> in,
                              std::span<ClassifyResult> out,
-                             BatchScratch& scratch) const;
+                             BatchScratch& scratch, bool use_memo) const;
 
   void rebuild_active_ip_engines(hw::CommandLog& log);
 
@@ -309,6 +343,11 @@ class ConfigurableClassifier {
 
   ClassifierConfig cfg_;
   u32 reseed_attempts_ = 0;
+  /// Process-unique device id (from a global counter, so a destroyed
+  /// classifier's id is never reused the way its address could be) and
+  /// the update epoch — the persistent ProbeMemo's binding key.
+  u64 device_id_;
+  u64 device_epoch_ = 0;
 
   // Controller-side label bookkeeping.
   std::array<alg::LabelTable<ruleset::SegmentPrefix>, 4> ip_tables_;

@@ -57,16 +57,52 @@ enum class BatchMode : u8 {
   return m == BatchMode::kScalar ? "scalar" : "phase2";
 }
 
+/// How classify_batch() picks its per-batch execution path under
+/// BatchMode::kPhase2. All paths produce identical verdicts and
+/// per-packet memory accesses (cycles may only drop when the probe memo
+/// engages), so the policy is purely a host-performance decision.
+enum class PathPolicy : u8 {
+  /// The per-scratch EWMA controller (core/path_controller.hpp) picks
+  /// scalar-loop vs batch engine and memo-on vs memo-off online, from
+  /// measured host ns/packet. The default.
+  kAdaptive,
+  /// Always the batch engine; the probe memo follows batch_probe_memo.
+  /// The deterministic choice tests and ablations force.
+  kForcePhase2,
+  /// Always the packet-at-a-time loop (the phase-2 cost model without
+  /// its scaffolding).
+  kForceScalarLoop,
+};
+
+[[nodiscard]] constexpr const char* to_string(PathPolicy p) {
+  switch (p) {
+    case PathPolicy::kAdaptive: return "adaptive";
+    case PathPolicy::kForcePhase2: return "phase2";
+    case PathPolicy::kForceScalarLoop: return "scalar-loop";
+  }
+  return "?";
+}
+
 /// Full device configuration.
 struct ClassifierConfig {
   IpAlgorithm ip_algorithm = IpAlgorithm::kMbt;
   CombineMode combine_mode = CombineMode::kFirstLabel;
   /// classify_batch() strategy (classify() is always scalar).
   BatchMode batch_mode = BatchMode::kPhase2;
-  /// Per-batch combination-probe memo in the combiner (phase-2 only).
+  /// Combination-probe memo in the combiner (phase-2 only): when true
+  /// the memo is *eligible*; under PathPolicy::kAdaptive the controller
+  /// still decides per batch whether engaging it pays.
   bool batch_probe_memo = true;
   /// Slots of that memo (rounded up to a power of two).
   u32 batch_memo_slots = 512;
+  /// Persistent memo lifetime (the default): entries survive batch
+  /// boundaries and are invalidated only when the device they were
+  /// cached against changes (snapshot swap / in-place update). false
+  /// restores the per-batch generation reset — kept as the A/B
+  /// reference for bench_batch_ablation.
+  bool batch_memo_persistent = true;
+  /// Per-batch execution-path policy for the phase-2 engine.
+  PathPolicy batch_path_policy = PathPolicy::kAdaptive;
 
   /// Geometry of each of the four IP-segment MBT engines.
   alg::MbtConfig mbt{};

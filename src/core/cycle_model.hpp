@@ -11,11 +11,13 @@
 /// plus the *maximum* over the 7 parallel dimension engines (each
 /// memory read charges its block's read_cycles and one access), plus
 /// the serial tail (1 cycle label merge, then per Rule Filter probe:
-/// one hash cycle and one read per slot walked — or, on a batch-memo
-/// hit, one cycle plus the replaced probe's reads; see
-/// core::ProbeMemo). The batch engine may lower cycles via memo hits
-/// but never changes memory-access counts, so rates derived here stay
-/// comparable across batch modes.
+/// one hash cycle and one read per slot walked — or, on a
+/// combination-memo hit, one cycle plus the replaced probe's reads;
+/// see core::ProbeMemo, whose entries persist across batches of an
+/// unchanged device and are dropped the instant the device changes).
+/// The batch engine may lower cycles via memo hits but never changes
+/// memory-access counts, so rates derived here stay comparable across
+/// batch modes, memo lifetimes and controller path choices.
 #pragma once
 
 #include "common/types.hpp"

@@ -1,0 +1,150 @@
+/// \file path_controller.hpp
+/// Online execution-path controller for the phase-2 batch hot path.
+///
+/// classify_batch() can serve a batch three ways, all with identical
+/// verdicts and per-packet modeled memory accesses:
+///
+///   * scalar loop      — classify() per packet; the exact cost model
+///                        with no batch scaffolding (cheapest on traffic
+///                        with no intra-batch sharing, e.g. cache-thrash);
+///   * phase2           — the sorted-key batch engine, probe memo off;
+///   * phase2 + memo    — the batch engine with the snapshot-keyed
+///                        combination-probe memo in front of the Rule
+///                        Filter (cheapest when label combinations
+///                        repeat, e.g. fw-like or Zipf traffic).
+///
+/// Earlier revisions picked between these with two hand-tuned
+/// window-threshold gates (bypass the memo under a 2% window hit rate;
+/// bypass the batch engine under 5% combine sharing) — constants tuned
+/// on one host that the ROADMAP flagged for replacement. This
+/// controller replaces both: it keeps an EWMA of *measured host
+/// nanoseconds per packet* for each path and picks the cheapest one per
+/// batch, with periodic exploration so a path whose estimate went stale
+/// (traffic shifted) is re-measured and can win back the slot.
+///
+/// The controller lives in the caller-owned BatchScratch (one dataplane
+/// worker = one scratch), so every worker adapts to its own traffic
+/// independently and no state is shared across threads. It never
+/// affects correctness: the choice only moves host work, never modeled
+/// cost (see the cycle-charging contract in core/classifier.hpp).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace pclass::core {
+
+/// The execution paths classify_batch() chooses between per batch.
+enum class BatchPath : u8 {
+  kScalarLoop = 0,  ///< packet-at-a-time classify() loop
+  kPhase2 = 1,      ///< sorted-key batch engine, probe memo off
+  kPhase2Memo = 2,  ///< batch engine + snapshot-keyed probe memo
+};
+
+inline constexpr usize kNumBatchPaths = 3;
+
+[[nodiscard]] constexpr const char* to_string(BatchPath p) {
+  switch (p) {
+    case BatchPath::kScalarLoop: return "scalar-loop";
+    case BatchPath::kPhase2: return "phase2";
+    case BatchPath::kPhase2Memo: return "phase2+memo";
+  }
+  return "?";
+}
+
+/// Per-scratch epsilon-greedy path picker over EWMA host-cost
+/// estimates. Not thread-safe by design — one instance per worker
+/// scratch, touched only by that worker.
+class PathController {
+ public:
+  /// EWMA smoothing: each observation contributes 1/4. Structural (a
+  /// convergence-speed / noise-rejection tradeoff), not workload-tuned:
+  /// ~8 batches to forget a stale estimate at any batch size.
+  static constexpr double kAlpha = 0.25;
+  /// Every kExplorePeriod-th decision measures a non-best eligible path
+  /// (round-robin) instead of exploiting, so estimates track shifting
+  /// traffic. ~4% steady-state exploration overhead, bounded by the
+  /// fact that every path costs within a small factor of the best.
+  static constexpr u64 kExplorePeriod = 24;
+  /// Batches each eligible path is measured before exploitation starts.
+  static constexpr u64 kWarmup = 2;
+
+  /// Pick the path for the next batch. \p memo_eligible gates the
+  /// kPhase2Memo arm (config has the memo off => never chosen).
+  [[nodiscard]] BatchPath choose(bool memo_eligible) {
+    ++decisions_;
+    // Warm-up: measure every eligible arm kWarmup times first.
+    for (usize a = 0; a < kNumBatchPaths; ++a) {
+      if (!eligible(static_cast<BatchPath>(a), memo_eligible)) continue;
+      if (arms_[a].observations < kWarmup) return static_cast<BatchPath>(a);
+    }
+    const BatchPath best = cheapest(memo_eligible);
+    if (decisions_ % kExplorePeriod == 0) {
+      // Exploration slot: rotate over the non-best eligible arms.
+      for (usize step = 0; step < kNumBatchPaths; ++step) {
+        const usize a = (explore_cursor_ + step + 1) % kNumBatchPaths;
+        if (a != static_cast<usize>(best) &&
+            eligible(static_cast<BatchPath>(a), memo_eligible)) {
+          explore_cursor_ = a;
+          return static_cast<BatchPath>(a);
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Record the measured host cost of the batch just served.
+  void observe(BatchPath path, double host_ns, usize packets) {
+    ArmState& a = arms_[static_cast<usize>(path)];
+    ++a.batches;
+    if (packets == 0 || host_ns < 0) return;
+    const double ns_per_pkt = host_ns / static_cast<double>(packets);
+    a.ewma_ns_per_pkt = a.observations == 0
+                            ? ns_per_pkt
+                            : kAlpha * ns_per_pkt +
+                                  (1.0 - kAlpha) * a.ewma_ns_per_pkt;
+    ++a.observations;
+  }
+
+  /// Batches served via \p path (forced-policy batches are counted too,
+  /// by classify_batch, so reports always reflect the paths taken).
+  [[nodiscard]] u64 batches(BatchPath path) const {
+    return arms_[static_cast<usize>(path)].batches;
+  }
+
+  [[nodiscard]] double ewma_ns_per_pkt(BatchPath path) const {
+    return arms_[static_cast<usize>(path)].ewma_ns_per_pkt;
+  }
+
+ private:
+  struct ArmState {
+    double ewma_ns_per_pkt = 0;
+    u64 observations = 0;  ///< EWMA samples folded in
+    u64 batches = 0;       ///< batches served via this path
+  };
+
+  [[nodiscard]] static bool eligible(BatchPath p, bool memo_eligible) {
+    return p != BatchPath::kPhase2Memo || memo_eligible;
+  }
+
+  [[nodiscard]] BatchPath cheapest(bool memo_eligible) const {
+    BatchPath best = BatchPath::kPhase2;
+    double best_cost = arms_[static_cast<usize>(best)].ewma_ns_per_pkt;
+    for (usize a = 0; a < kNumBatchPaths; ++a) {
+      if (!eligible(static_cast<BatchPath>(a), memo_eligible)) continue;
+      const double cost = arms_[a].ewma_ns_per_pkt;
+      if (cost < best_cost) {
+        best = static_cast<BatchPath>(a);
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  std::array<ArmState, kNumBatchPaths> arms_{};
+  u64 decisions_ = 0;
+  usize explore_cursor_ = 0;
+};
+
+}  // namespace pclass::core

@@ -33,12 +33,23 @@ struct RuleEntry {
                                     const RuleEntry&) = default;
 };
 
-/// Per-batch combination-probe memo for the phase-3/4 combiner: a small
+/// Combination-probe memo for the phase-3/4 combiner: a small
 /// open-addressed map from a 68-bit label combination to its cached
-/// verdict, reset (O(1), generation bump) at every batch boundary.
-/// Models a tiny combination cache in front of the Rule Filter: batches
-/// with repeated label combinations (fw-like traffic) resolve repeats
-/// in one cycle instead of re-walking hash + probe chain.
+/// verdict. Models a tiny combination cache in front of the Rule
+/// Filter: repeated label combinations (fw-like traffic) resolve in one
+/// cycle instead of re-walking hash + probe chain.
+///
+/// Lifetime: the memo is *persistent* — entries are tagged with the
+/// device state they were cached against (a (device id, update epoch)
+/// binding, see bind()) and survive batch boundaries, so flow locality
+/// spanning batches keeps compounding hits. They are invalidated, in
+/// O(1), exactly when that binding changes: the scratch is pointed at a
+/// different classifier (a published RuleProgram snapshot swap rotates
+/// the replica the worker classifies against) or the same classifier
+/// absorbed an update (every update-path mutation bumps the device
+/// epoch). A stale entry can therefore never serve across a version
+/// boundary. ClassifierConfig::batch_memo_persistent = false restores
+/// the PR-3 per-batch reset as an A/B reference.
 ///
 /// Cycle-charging contract (preserved by RuleFilter::lookup_memo): a
 /// memo hit returns the identical verdict and charges the identical
@@ -56,8 +67,27 @@ class ProbeMemo {
   /// probe runs for real).
   explicit ProbeMemo(u32 slots = kDefaultSlots);
 
-  /// New batch: invalidate every cached combination in O(1).
-  void reset() { ++gen_; }
+  /// Bind the memo to a device state before a batch: \p device_id is a
+  /// process-unique classifier id (never reused, unlike an address) and
+  /// \p epoch that device's update epoch. Returns true when the binding
+  /// changed — every cached combination was just invalidated (O(1)
+  /// generation bump); false when the memo carried over and hits may
+  /// compound across batches.
+  bool bind(u64 device_id, u64 epoch) {
+    if (device_id == bound_device_ && epoch == bound_epoch_) return false;
+    bound_device_ = device_id;
+    bound_epoch_ = epoch;
+    ++gen_;
+    return true;
+  }
+
+  /// Unconditionally invalidate every cached combination in O(1) (the
+  /// per-batch A/B mode; also clears the binding so the next bind()
+  /// reports an invalidation).
+  void invalidate() {
+    bound_device_ = 0;
+    ++gen_;
+  }
 
   [[nodiscard]] u32 slots() const { return static_cast<u32>(entries_.size()); }
 
@@ -80,6 +110,8 @@ class ProbeMemo {
   std::vector<Entry> entries_;
   u64 gen_ = 1;
   u32 mask_ = 0;
+  u64 bound_device_ = 0;  ///< 0 = unbound (classifier ids start at 1)
+  u64 bound_epoch_ = 0;
 };
 
 /// Hashed rule memory.
@@ -136,9 +168,11 @@ class RuleFilter {
   /// \p memo first; on a hit charge one cycle plus the replaced probe's
   /// memory accesses (see ProbeMemo's contract) and bump \p memo_hits;
   /// on a miss run the real probe, charge its true cost, and memoize
-  /// the (verdict, access-count) pair for the rest of the batch.
-  /// The table must not be mutated between memo.reset() calls — the
-  /// dataplane guarantees this by classifying against frozen snapshots.
+  /// the (verdict, access-count) pair for as long as the memo's device
+  /// binding holds. The table must not be mutated while entries are
+  /// live — guaranteed because every update-path mutation bumps the
+  /// device epoch (so bind() drops the entries) and the dataplane
+  /// classifies against frozen snapshots.
   [[nodiscard]] std::optional<RuleEntry> lookup_memo(const Key68& key,
                                                      hw::CycleRecorder* rec,
                                                      ProbeMemo& memo,

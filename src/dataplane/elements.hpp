@@ -168,9 +168,13 @@ class FlowCacheElement : public Element {
 /// Phases 2-4: acquire the current RuleProgram (one atomic load per
 /// batch), feed every unresolved packet through the classifier's batch
 /// entry point in one call (under BatchMode::kPhase2 that is the
-/// sorted-key batch engine with the per-batch probe memo; the element
-/// owns the reusable BatchScratch so steady-state batches allocate
-/// nothing), and stamp the batch with the snapshot version.
+/// sorted-key batch engine; the element owns the reusable BatchScratch,
+/// so steady-state batches allocate nothing *and* the scratch's
+/// snapshot-keyed probe memo and EWMA path controller persist across
+/// this worker's batches — hits compound while the published program
+/// stays put, and every publisher swap rotates the worker onto a
+/// different replica, which the memo's device binding detects and
+/// invalidates on), and stamp the batch with the snapshot version.
 class ClassifierElement : public Element {
  public:
   explicit ClassifierElement(const RuleProgramPublisher* programs,
@@ -180,8 +184,18 @@ class ClassifierElement : public Element {
   void push_batch(net::PacketBatch& batch) override;
 
   [[nodiscard]] u64 lookups() const { return lookups_; }
-  /// Rule Filter probes served by the per-batch combination memo.
+  /// Rule Filter probes served by the combination memo.
   [[nodiscard]] u64 probe_memo_hits() const { return memo_hits_; }
+  /// Times the persistent memo dropped its entries (initial bind +
+  /// one per snapshot swap this worker classified across).
+  [[nodiscard]] u64 probe_memo_invalidations() const {
+    return scratch_.memo_invalidations;
+  }
+  /// Batches this worker served via each execution path (the
+  /// controller's choices, or the forced policy's).
+  [[nodiscard]] u64 path_batches(core::BatchPath p) const {
+    return scratch_.controller.batches(p);
+  }
   /// Lowest/highest snapshot version observed; both 0 when the worker
   /// never processed a batch (the sentinel must not leak into reports).
   [[nodiscard]] u64 min_version() const {

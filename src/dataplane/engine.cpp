@@ -127,6 +127,13 @@ EngineReport Engine::collect() const {
     r.classifier_lookups = w.classifier->lookups();
     r.memory_accesses = w.sink->memory_accesses();
     r.probe_memo_hits = w.classifier->probe_memo_hits();
+    r.probe_memo_invalidations = w.classifier->probe_memo_invalidations();
+    r.path_scalar_loop_batches =
+        w.classifier->path_batches(core::BatchPath::kScalarLoop);
+    r.path_phase2_batches =
+        w.classifier->path_batches(core::BatchPath::kPhase2);
+    r.path_phase2_memo_batches =
+        w.classifier->path_batches(core::BatchPath::kPhase2Memo);
     r.cache_misses = w.cache == nullptr ? 0 : w.cache->stats().misses;
     r.min_version = w.classifier->min_version();
     r.max_version = w.classifier->max_version();

@@ -107,7 +107,15 @@ struct WorkerReport {
   u64 cache_misses = 0;
   u64 classifier_lookups = 0;  ///< full 4-phase lookups (cache misses)
   u64 memory_accesses = 0;     ///< modelled block-memory reads (per-worker)
-  u64 probe_memo_hits = 0;     ///< combiner probes served by the batch memo
+  u64 probe_memo_hits = 0;     ///< combiner probes served by the memo
+  /// Times the persistent probe memo dropped its entries (initial bind
+  /// plus one per snapshot swap this worker classified across).
+  u64 probe_memo_invalidations = 0;
+  /// Batches served via each phase-2 execution path (the per-worker
+  /// EWMA controller's choices; forced policies count here too).
+  u64 path_scalar_loop_batches = 0;
+  u64 path_phase2_batches = 0;
+  u64 path_phase2_memo_batches = 0;
   u64 min_version = 0;   ///< lowest rule-program version observed
   u64 max_version = 0;   ///< highest rule-program version observed
   bool version_monotonic = true;  ///< versions never went backwards

@@ -39,6 +39,12 @@ class Trace {
 
   void add(TraceEntry e) { entries_.push_back(e); }
 
+  /// Drop every entry beyond the first \p n (no-op when n >= size());
+  /// lets replay consumers cap a loaded trace without re-serializing.
+  void truncate(usize n) {
+    if (n < entries_.size()) entries_.resize(n);
+  }
+
   /// Serialize in ClassBench trace format.
   void write(std::ostream& os) const;
 

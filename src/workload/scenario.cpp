@@ -1,10 +1,13 @@
 #include "workload/scenario.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <functional>
 #include <ostream>
+#include <thread>
 
 #include "baseline/linear_search.hpp"
 #include "common/error.hpp"
@@ -78,6 +81,10 @@ void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
     misses += w.cache_misses;
     r.memory_accesses += w.memory_accesses;
     r.probe_memo_hits += w.probe_memo_hits;
+    r.probe_memo_invalidations += w.probe_memo_invalidations;
+    r.path_scalar_loop_batches += w.path_scalar_loop_batches;
+    r.path_phase2_batches += w.path_phase2_batches;
+    r.path_phase2_memo_batches += w.path_phase2_memo_batches;
     if (w.max_version == 0 && w.min_version == 0 && w.packets == 0) {
       continue;  // idle worker: no versions observed
     }
@@ -130,6 +137,8 @@ core::ClassifierConfig scenario_config(const ruleset::RuleSet& rules,
       core::ClassifierConfig::for_scale(rules.size() + extra_headroom);
   cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact lookups
   cfg.batch_mode = opts.batch_mode;
+  cfg.batch_memo_persistent = opts.memo_persistent;
+  cfg.batch_path_policy = opts.path_policy;
   return cfg;
 }
 
@@ -284,6 +293,112 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts,
   return r;
 }
 
+/// Multi-writer storm: N controller threads push paced add/delete churn
+/// through the publisher's writer mutex while workers classify — the
+/// writer-side contention the single-writer storm cannot produce, and
+/// the natural stress test for the persistent probe memo's
+/// invalidate-on-swap path (every publish rotates the workers onto the
+/// other replica, so each worker's memo must drop and rebind hundreds
+/// of times mid-trace without ever serving a stale verdict; the oracle
+/// check below would catch one).
+ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
+                                      const std::string& name) {
+  ScenarioResult r;
+  const ScenarioWorkload w = obtain_workload(opts, name, [&] {
+    ruleset::RuleSet rules = synthesize(
+        RulesetProfile::acl(scaled(1000, opts.scale, 96), opts.seed));
+    TraceSynthesizer ts(rules,
+                        TraceProfile::standard(
+                            scaled(40'000, opts.scale, 2048),
+                            opts.seed ^ 0xABCD));
+    net::Trace trace = ts.generate();
+    return ScenarioWorkload{std::move(rules), std::move(trace)};
+  });
+  r.rules = w.rules.size();
+  r.trace_packets = w.trace.size();
+
+  constexpr usize kWriters = 4;
+  // Even count per writer: each schedule ends on a delete, so the storm
+  // leaves exactly the base set installed for the oracle comparison.
+  usize per_writer = scaled(2000, opts.scale, 256);
+  per_writer &= ~usize{1};
+  // Disjoint churn id windows (1024 apart; each storm cycles 256 ids)
+  // and disjoint 10.site.x.x source octets make the writers fully
+  // independent — any interleaving through the writer mutex is legal.
+  std::array<UpdateStorm, kWriters> storms;
+  usize total_updates = 0;
+  for (usize wr = 0; wr < kWriters; ++wr) {
+    storms[wr] = make_update_storm(
+        w.rules, per_writer, /*first_id=*/static_cast<u32>(58'000 + wr * 1024),
+        opts.seed ^ (0x17E0 + wr * 0x9E37), /*site=*/static_cast<u32>(wr + 1));
+    total_updates += storms[wr].schedule.size();
+  }
+
+  // Headroom: up to kWriters * 256 churn rules live at once.
+  RuleProgramPublisher programs(scenario_config(w.rules, 1280, opts));
+  programs.install_ruleset(w.rules);
+  const u64 version_before = programs.version();
+  TrafficPool pool =
+      TrafficPool::from_trace(w.trace, /*materialize_packets=*/false);
+  Engine engine({.workers = opts.workers,
+                 .batch_size = opts.batch_size,
+                 .flow_cache_depth = opts.flow_cache_depth,
+                 .loop = true},
+                programs);
+  engine.start(pool);
+
+  std::array<std::string, kWriters> writer_errors;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (usize wr = 0; wr < kWriters; ++wr) {
+      writers.emplace_back([&, wr] {
+        try {
+          usize k = 0;
+          for (const sdn::Message& msg : storms[wr].schedule) {
+            programs.apply(msg);
+            // Pacing: yield between messages, sleep every 32nd — the
+            // storm overlaps the whole classification run instead of
+            // racing ahead of it, so the mutex sees sustained
+            // multi-thread contention.
+            if (++k % 32 == 0) {
+              std::this_thread::sleep_for(std::chrono::microseconds(50));
+            } else {
+              std::this_thread::yield();
+            }
+          }
+        } catch (const std::exception& e) {
+          writer_errors[wr] = e.what();
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+  }
+  const double storm_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  fill_engine_stats(r, engine.stop());
+
+  r.updates_applied = total_updates;
+  r.updates_per_sec =
+      storm_secs <= 0 ? 0.0
+                      : static_cast<double>(total_updates) / storm_secs;
+  r.grace_spins = programs.stats().grace_spins;
+  for (const std::string& err : writer_errors) {
+    if (!err.empty() && r.error.empty()) {
+      r.error = "update-storm-multi writer: " + err;
+    }
+  }
+  if (r.error.empty() &&
+      programs.version() != version_before + total_updates) {
+    r.error = "update-storm-multi: published version did not advance by "
+              "the combined schedule length";
+  }
+  verify_oracle(r, programs, w.trace);
+  return r;
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioOptions opts) : opts_(opts) {
@@ -312,6 +427,9 @@ const std::vector<ScenarioSpec>& ScenarioRunner::catalog() {
       {"update-storm",
        "southbound add/delete churn through the RCU publisher under "
        "concurrent lookups"},
+      {"update-storm-multi",
+       "paced 4-writer churn contending on the publisher's writer mutex "
+       "— snapshot swaps stress memo invalidation mid-trace"},
   };
   return kCatalog;
 }
@@ -339,6 +457,9 @@ ScenarioResult ScenarioRunner::run(const std::string& name) {
     else if (name == "cache-thrash") r = run_cache_thrash(opts_, name);
     else if (name == "trie-depth") r = run_trie_depth(opts_, name);
     else if (name == "update-storm") r = run_update_storm(opts_, name);
+    else if (name == "update-storm-multi") {
+      r = run_update_storm_multi(opts_, name);
+    }
   } catch (const std::exception& e) {
     r.error = e.what();
   }
@@ -347,13 +468,73 @@ ScenarioResult ScenarioRunner::run(const std::string& name) {
   return r;
 }
 
-std::vector<ScenarioResult> ScenarioRunner::run_all() {
-  std::vector<ScenarioResult> out;
-  out.reserve(catalog().size());
-  for (const ScenarioSpec& s : catalog()) {
-    out.push_back(run(s.name));
+std::vector<ScenarioResult> ScenarioRunner::run_many(
+    const std::vector<std::string>& names) {
+  // Validate every name up front so an unknown one throws before any
+  // scenario (or thread) starts.
+  const auto& specs = catalog();
+  for (const std::string& name : names) {
+    if (std::none_of(specs.begin(), specs.end(),
+                     [&](const ScenarioSpec& s) { return s.name == name; })) {
+      std::string known;
+      for (const auto& s : specs) {
+        known += (known.empty() ? "" : ", ") + s.name;
+      }
+      throw ConfigError("unknown scenario '" + name + "' (catalog: " +
+                        known + ")");
+    }
   }
+  usize pool = opts_.parallel;
+  if (pool == 0) {
+    const usize hw = std::thread::hardware_concurrency();
+    pool = std::clamp<usize>(hw == 0 ? 1 : hw / 2, 1, 4);
+  }
+  pool = std::min(pool, names.size());
+  // A repeated name would race two writers on the same --save-workloads
+  // files (and measure itself against itself); run such lists
+  // sequentially — last write wins, as it always did.
+  std::vector<std::string> sorted_names = names;
+  std::sort(sorted_names.begin(), sorted_names.end());
+  if (std::adjacent_find(sorted_names.begin(), sorted_names.end()) !=
+      sorted_names.end()) {
+    pool = 1;
+  }
+
+  std::vector<ScenarioResult> out(names.size());
+  if (pool <= 1) {
+    for (usize i = 0; i < names.size(); ++i) {
+      out[i] = run(names[i]);
+    }
+    return out;
+  }
+  // Scenarios are independent (each builds its own publisher, engine
+  // and workload; run() is thread-safe), so a claim cursor over the
+  // name list is all the scheduling needed. Results land at their list
+  // index, keeping the report deterministic regardless of completion
+  // order.
+  std::atomic<usize> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (usize t = 0; t < pool; ++t) {
+    threads.emplace_back([&] {
+      while (true) {
+        const usize i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= names.size()) break;
+        out[i] = run(names[i]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
   return out;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_all() {
+  std::vector<std::string> names;
+  names.reserve(catalog().size());
+  for (const ScenarioSpec& s : catalog()) {
+    names.push_back(s.name);
+  }
+  return run_many(names);
 }
 
 bool all_ok(const std::vector<ScenarioResult>& results) {
@@ -373,6 +554,9 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   j.key("scale").value(opts.scale);
   j.key("seed").value(u64{opts.seed});
   j.key("batch_mode").value(std::string(to_string(opts.batch_mode)));
+  j.key("memo_persistent").value(opts.memo_persistent);
+  j.key("path_policy").value(std::string(to_string(opts.path_policy)));
+  j.key("parallel").value(opts.parallel);
   j.end_object();
   j.key("scenarios").begin_array();
   for (const ScenarioResult& r : results) {
@@ -395,6 +579,12 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
     j.key("cache_hit_rate").value(r.cache_hit_rate);
     j.key("memory_accesses").value(r.memory_accesses);
     j.key("probe_memo_hits").value(r.probe_memo_hits);
+    j.key("probe_memo_invalidations").value(r.probe_memo_invalidations);
+    j.key("controller").begin_object();
+    j.key("scalar_loop_batches").value(r.path_scalar_loop_batches);
+    j.key("phase2_batches").value(r.path_phase2_batches);
+    j.key("phase2_memo_batches").value(r.path_phase2_memo_batches);
+    j.end_object();
     j.key("snapshot").begin_object();
     j.key("min_version").value(r.snapshot_min_version);
     j.key("max_version").value(r.snapshot_max_version);

@@ -33,6 +33,21 @@ struct ScenarioOptions {
   /// phase-2 vs scalar A/B knob; modeled results are identical, host
   /// throughput is not).
   core::BatchMode batch_mode = core::BatchMode::kPhase2;
+  /// Probe-memo lifetime A/B: true (default) = snapshot-keyed memo
+  /// persisting across batches; false = the PR-3 per-batch reset.
+  /// Byte-identical workloads + this knob = the cross-batch hit-rate
+  /// comparison CI uploads.
+  bool memo_persistent = true;
+  /// Phase-2 execution-path policy. kAdaptive (default) lets each
+  /// worker's EWMA controller pick per batch; kForcePhase2 pins the
+  /// batch engine (+memo), making memo hit counts deterministic — what
+  /// the CI persistent-vs-per-batch A/B pins so the hit-rate gain
+  /// reflects the memo lifetime, not controller choices.
+  core::PathPolicy path_policy = core::PathPolicy::kAdaptive;
+  /// Scenarios run concurrently by run_all()/run_many() (results are
+  /// independent; report order stays catalog order). 0 = auto (half
+  /// the hardware threads, clamped to [1, 4]); 1 = sequential.
+  usize parallel = 0;
   /// When non-empty, write each scenario's synthesized workload to
   /// DIR/<scenario>.rules.pcr1 + DIR/<scenario>.trace.pct1 (versioned
   /// binio formats, byte-stable across hosts).
@@ -63,7 +78,15 @@ struct ScenarioResult {
   u64 max_cycles = 0;
   double cache_hit_rate = 0;
   u64 memory_accesses = 0;  ///< per-worker recorder totals, summed
-  u64 probe_memo_hits = 0;  ///< combiner probes served by the batch memo
+  u64 probe_memo_hits = 0;  ///< combiner probes served by the memo
+  /// Persistent-memo entry drops, summed across workers (initial binds
+  /// plus one per snapshot swap a worker classified across).
+  u64 probe_memo_invalidations = 0;
+  /// Path-controller choices, summed across workers: batches served by
+  /// the scalar loop / batch engine / batch engine + memo.
+  u64 path_scalar_loop_batches = 0;
+  u64 path_phase2_batches = 0;
+  u64 path_phase2_memo_batches = 0;
 
   // Snapshot consistency.
   u64 snapshot_min_version = 0;
@@ -103,10 +126,17 @@ class ScenarioRunner {
 
   /// Run one scenario by name. Never throws for scenario-internal
   /// failures — those land in result.error; unknown names throw
-  /// ConfigError.
+  /// ConfigError. Thread-safe: scenarios share nothing but the
+  /// (read-only) options, which is what run_many() exploits.
   [[nodiscard]] ScenarioResult run(const std::string& name);
 
-  /// Run the whole catalog in order.
+  /// Run a list of scenarios on a small thread pool
+  /// (ScenarioOptions::parallel), preserving the list's order in the
+  /// results. Unknown names throw ConfigError before anything runs.
+  [[nodiscard]] std::vector<ScenarioResult> run_many(
+      const std::vector<std::string>& names);
+
+  /// Run the whole catalog; results in catalog order.
   [[nodiscard]] std::vector<ScenarioResult> run_all();
 
   [[nodiscard]] const ScenarioOptions& options() const { return opts_; }

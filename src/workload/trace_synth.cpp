@@ -178,8 +178,12 @@ net::Trace make_trie_depth_trace(const ruleset::RuleSet& rules,
 }
 
 UpdateStorm make_update_storm(const ruleset::RuleSet& base_rules,
-                              usize updates, u32 first_id, u64 seed) {
+                              usize updates, u32 first_id, u64 seed,
+                              u32 site) {
   Rng rng(seed);
+  if (site > 0xFF) {
+    throw ConfigError("make_update_storm: site must fit one octet");
+  }
   // The Rule Filter stores ids in a 16-bit field; the whole churn id
   // window must fit.
   if (u64{first_id} + 256 > 0x10000) {
@@ -204,7 +208,8 @@ UpdateStorm make_update_storm(const ruleset::RuleSet& base_rules,
     const u32 slot = static_cast<u32>(k) % kChurnWindow;
     ruleset::Rule r;
     r.src_ip = ruleset::IpPrefix::make(
-        0x0A000000u | (slot << 8) | (static_cast<u32>(rng.next()) & 0xFFu),
+        0x0A000000u | (site << 16) | (slot << 8) |
+            (static_cast<u32>(rng.next()) & 0xFFu),
         32);
     r.dst_ip = ruleset::IpPrefix::make(0x0B000000u, 8);
     r.src_port = ruleset::PortRange::wildcard();

@@ -72,6 +72,12 @@ class TraceSynthesizer {
 /// An update-storm schedule for the RCU publisher: \p updates southbound
 /// messages in add/delete pairs over a churn set of synthetic rules
 /// disjoint from \p base_rules (ids start at \p first_id).
+///
+/// \p site selects the second octet of the churn rules' 10.site.x.x
+/// source space. Concurrent storms (the multi-writer scenario) use
+/// distinct sites *and* distinct id windows so their schedules are
+/// fully independent: no writer ever adds a match part another writer's
+/// live rule occupies, which would reject the add mid-storm.
 struct UpdateStorm {
   std::vector<sdn::Message> schedule;
   usize add_count = 0;
@@ -80,6 +86,6 @@ struct UpdateStorm {
 
 [[nodiscard]] UpdateStorm make_update_storm(const ruleset::RuleSet& base_rules,
                                             usize updates, u32 first_id,
-                                            u64 seed);
+                                            u64 seed, u32 site = 0);
 
 }  // namespace pclass::workload

@@ -23,6 +23,8 @@
 #include "baseline/linear_search.hpp"
 #include "common/random.hpp"
 #include "core/classifier.hpp"
+#include "dataplane/rule_program.hpp"
+#include "sdn/flow_mod.hpp"
 #include "workload/ruleset_synth.hpp"
 #include "workload/trace_synth.hpp"
 
@@ -190,6 +192,249 @@ TEST(BatchPhase2, AdversarialTraces) {
   const net::Trace thrash =
       workload::make_cache_thrash_trace(rules, 800, 512, 13);
   check_equivalence(cfg, rules, headers_of(thrash));
+}
+
+// Controller-forced-path matrix: every PathPolicy x memo eligibility x
+// memo lifetime combination must reproduce the scalar verdicts and
+// per-packet accesses; cycles stay exact whenever the memo cannot
+// engage and never exceed scalar when it can.
+TEST(BatchPhase2, ControllerForcedPathMatrix) {
+  const ruleset::RuleSet rules = workload::synthesize(
+      workload::RulesetProfile::fw(150, 31));
+  workload::TraceSynthesizer ts(
+      rules, workload::TraceProfile::standard(900, 31 ^ 0xABCD));
+  const auto in = headers_of(ts.generate());
+
+  core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(512);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;
+  core::ConfigurableClassifier clf(cfg);
+  clf.add_rules(rules);
+  const ScalarRef ref = scalar_reference(clf, in);
+
+  std::vector<core::ClassifyResult> out;
+  for (const core::PathPolicy policy :
+       {core::PathPolicy::kAdaptive, core::PathPolicy::kForcePhase2,
+        core::PathPolicy::kForceScalarLoop}) {
+    for (const bool memo : {false, true}) {
+      for (const bool persistent : {false, true}) {
+        clf.set_batch_path_policy(policy);
+        clf.set_batch_probe_memo(memo);
+        clf.set_batch_memo_persistent(persistent);
+        run_batched(clf, in, 32, out);
+        const bool memo_can_engage =
+            memo && policy != core::PathPolicy::kForceScalarLoop;
+        for (usize i = 0; i < in.size(); ++i) {
+          expect_verdicts_equal(out[i], ref.results[i], i);
+          if (memo_can_engage) {
+            EXPECT_LE(out[i].cycles, ref.results[i].cycles)
+                << "policy " << to_string(policy) << ", packet " << i;
+          } else {
+            EXPECT_EQ(out[i].cycles, ref.results[i].cycles)
+                << "policy " << to_string(policy) << ", packet " << i;
+            EXPECT_EQ(out[i].memo_hits, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+// The persistent memo must compound across batches of an unchanged
+// device: classifying the same flow-heavy trace twice with one scratch,
+// the second pass (memo warm from the first) serves strictly more memo
+// hits than the first while staying verdict/access-identical to scalar.
+TEST(BatchPhase2, PersistentMemoCompoundsAcrossBatches) {
+  const ruleset::RuleSet rules = workload::synthesize(
+      workload::RulesetProfile::fw(150, 47));
+  workload::TraceSynthesizer ts(
+      rules, workload::TraceProfile::zipf_heavy(600, 47 ^ 0x21BF));
+  const auto in = headers_of(ts.generate());
+
+  core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(512);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;
+  cfg.batch_path_policy = core::PathPolicy::kForcePhase2;
+  core::ConfigurableClassifier clf(cfg);
+  clf.add_rules(rules);
+  const ScalarRef ref = scalar_reference(clf, in);
+
+  core::BatchScratch scratch;
+  std::vector<core::ClassifyResult> out(in.size());
+  auto pass = [&] {
+    u64 hits = 0;
+    for (usize off = 0; off < in.size(); off += 32) {
+      const usize len = std::min<usize>(32, in.size() - off);
+      clf.classify_batch(std::span(in).subspan(off, len),
+                         std::span(out).subspan(off, len), scratch);
+    }
+    for (usize i = 0; i < in.size(); ++i) {
+      expect_verdicts_equal(out[i], ref.results[i], i);
+      EXPECT_LE(out[i].cycles, ref.results[i].cycles);
+      hits += out[i].memo_hits;
+    }
+    return hits;
+  };
+  const u64 first = pass();
+  const u64 second = pass();
+  EXPECT_GT(second, first)
+      << "a warm persistent memo must serve more hits than a cold one";
+  // One bind at first use; never again while the device is unchanged.
+  EXPECT_EQ(scratch.memo_invalidations, 1u);
+
+  // Per-batch mode as the A/B: every batch invalidates.
+  clf.set_batch_memo_persistent(false);
+  const u64 inval_before = scratch.memo_invalidations;
+  (void)pass();
+  EXPECT_EQ(scratch.memo_invalidations - inval_before,
+            (in.size() + 31) / 32);
+}
+
+// Stale entries must never serve across an in-place device update: the
+// memo is warmed, the rule a hot flow matches is removed (then a new
+// one added), and the same headers are re-classified with the same
+// scratch — verdicts must match a fresh scalar reference of the
+// *mutated* device, not the cached ones.
+TEST(BatchPhase2, PersistentMemoInvalidatesOnInPlaceUpdate) {
+  ruleset::RuleSet rules("wc");
+  for (u16 i = 0; i < 8; ++i) {
+    ruleset::Rule r;
+    r.src_ip = ruleset::IpPrefix::make(
+        (u32{10} << 24) | (u32{i} << 16), 16);
+    r.proto = ruleset::ProtoMatch::exact(net::kProtoTcp);
+    rules.add(r);
+  }
+  core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(64);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;
+  cfg.batch_path_policy = core::PathPolicy::kForcePhase2;
+  core::ConfigurableClassifier clf(cfg);
+  clf.add_rules(rules);
+
+  std::vector<net::FiveTuple> in;
+  for (u16 k = 0; k < 64; ++k) {
+    net::FiveTuple t;
+    t.src_ip = (u32{10} << 24) | (u32{k % 8} << 16) | k;
+    t.dst_ip = 0xC0A80001;
+    t.src_port = 1000;
+    t.dst_port = 80;
+    t.protocol = net::kProtoTcp;
+    in.push_back(t);
+  }
+  core::BatchScratch scratch;
+  std::vector<core::ClassifyResult> out(in.size());
+
+  auto classify_and_check = [&] {
+    clf.classify_batch(in, out, scratch);
+    const ScalarRef ref = scalar_reference(clf, in);
+    for (usize i = 0; i < in.size(); ++i) {
+      expect_verdicts_equal(out[i], ref.results[i], i);
+    }
+  };
+  classify_and_check();  // warm the memo on rules that will disappear
+  const auto victim = clf.installed_rules().front();
+  clf.remove_rule(victim.id);
+  classify_and_check();  // cached match for the removed rule must not serve
+  ruleset::Rule back = victim;
+  back.id = RuleId{500};
+  back.priority = 99;
+  clf.add_rule(back);
+  classify_and_check();  // and the re-added rule must be visible
+  // Initial bind + one invalidation per mutation (each epoch bump).
+  EXPECT_EQ(scratch.memo_invalidations, 3u);
+}
+
+// The dataplane analogue: one worker scratch classifying across
+// publisher snapshot swaps (A -> B -> A replica rotation). Every swap
+// rebinds the memo; results always match a scalar reference taken on
+// the snapshot being classified against — including when the worker
+// deliberately keeps classifying an *old* acquired snapshot after a
+// newer one was published.
+TEST(BatchPhase2, PersistentMemoInvalidatesOnSnapshotSwap) {
+  const ruleset::RuleSet rules = workload::synthesize(
+      workload::RulesetProfile::acl(120, 53));
+  workload::TraceSynthesizer ts(
+      rules, workload::TraceProfile::zipf_heavy(256, 53 ^ 0x21BF));
+  const auto in = headers_of(ts.generate());
+
+  core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(512);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;
+  cfg.batch_path_policy = core::PathPolicy::kForcePhase2;
+  dataplane::RuleProgramPublisher programs(cfg);
+  programs.install_ruleset(rules);
+
+  const workload::UpdateStorm storm =
+      workload::make_update_storm(rules, 6, /*first_id=*/60'000, 77);
+
+  core::BatchScratch scratch;
+  std::vector<core::ClassifyResult> out(in.size());
+  auto classify_on = [&](const dataplane::RuleProgram& snap) {
+    const auto& dev = snap.classifier();
+    for (usize off = 0; off < in.size(); off += 32) {
+      const usize len = std::min<usize>(32, in.size() - off);
+      dev.classify_batch(std::span(in).subspan(off, len),
+                         std::span(out).subspan(off, len), scratch);
+    }
+    const ScalarRef ref = scalar_reference(dev, in);
+    for (usize i = 0; i < in.size(); ++i) {
+      expect_verdicts_equal(out[i], ref.results[i], i);
+      EXPECT_LE(out[i].cycles, ref.results[i].cycles);
+    }
+  };
+
+  classify_on(*programs.acquire());
+  for (const sdn::Message& msg : storm.schedule) {
+    // Hold the snapshot being retired across the swap (one-swap window:
+    // holding it longer would stall the writer's grace period, which is
+    // exactly the publisher's documented reader contract).
+    const auto held = programs.acquire();
+    programs.apply(msg);  // swap: the other replica becomes current
+    classify_on(*programs.acquire());  // new replica -> memo rebinds
+    classify_on(*held);  // the stale-held snapshot -> rebinds again,
+                         // and must still match *its* scalar reference
+  }
+  // Every classify_on() call above switched devices, so each one (after
+  // the first) invalidated exactly once: 1 initial + 2 per update.
+  EXPECT_EQ(scratch.memo_invalidations, 1u + 2 * storm.schedule.size());
+}
+
+// Content-hash combine dedup: when every port/proto dimension is pure
+// wildcard, distinct dport/sport keys map to identical one-label lists,
+// so headers differing only in ports must share one combine-memo group
+// (span identity would give each distinct key its own span and
+// under-group). Observable directly in the scratch.
+TEST(BatchPhase2, ContentHashDedupGroupsIdenticalLists) {
+  ruleset::RuleSet rules("wc-ports");
+  for (u16 i = 0; i < 4; ++i) {
+    ruleset::Rule r;
+    r.src_ip = ruleset::IpPrefix::make(
+        (u32{10} << 24) | (u32{i} << 16), 16);
+    rules.add(r);  // ports and protocol wildcard
+  }
+  core::ClassifierConfig cfg = core::ClassifierConfig::for_scale(64);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;
+  cfg.batch_path_policy = core::PathPolicy::kForcePhase2;
+  core::ConfigurableClassifier clf(cfg);
+  clf.add_rules(rules);
+
+  std::vector<net::FiveTuple> in;
+  for (u16 k = 0; k < 16; ++k) {
+    net::FiveTuple t;
+    t.src_ip = (u32{10} << 24) | (u32{2} << 16) | 7;  // one flow's IPs
+    t.dst_ip = 0xC0A80001;
+    t.src_port = static_cast<u16>(1000 + 3 * k);  // 16 distinct sports
+    t.dst_port = static_cast<u16>(2000 + 5 * k);  // 16 distinct dports
+    t.protocol = net::kProtoTcp;
+    in.push_back(t);
+  }
+  core::BatchScratch scratch;
+  std::vector<core::ClassifyResult> out(in.size());
+  clf.classify_batch(in, out, scratch);
+  // All 16 packets: identical IP lists (same ips) and identical
+  // *contents* of the port/proto lists (only the wildcard label), so
+  // one odometer run serves the whole batch.
+  EXPECT_EQ(scratch.combine_memo.size(), 1u);
+  const ScalarRef ref = scalar_reference(clf, in);
+  for (usize i = 0; i < in.size(); ++i) {
+    expect_verdicts_equal(out[i], ref.results[i], i);
+  }
 }
 
 // Per-structure contract: MultiBitTrie::lookup_batch_into replays the

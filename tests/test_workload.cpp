@@ -314,7 +314,7 @@ TEST(Scenario, CatalogHasRequiredEntries) {
   EXPECT_GE(cat.size(), 6u);
   for (const char* required :
        {"acl-like", "fw-like", "ipc-like", "zipf-locality", "cache-thrash",
-        "update-storm"}) {
+        "update-storm", "update-storm-multi"}) {
     EXPECT_TRUE(std::any_of(cat.begin(), cat.end(),
                             [&](const ScenarioSpec& s) {
                               return s.name == required;
@@ -340,6 +340,48 @@ TEST(Scenario, SmokeRunOracleClean) {
       EXPECT_GT(r.updates_applied, 0u);
     }
   }
+}
+
+TEST(Scenario, MultiWriterStormOracleCleanUnderContention) {
+  ScenarioRunner runner({.workers = 2, .scale = 0.04, .seed = 11});
+  const ScenarioResult r = runner.run("update-storm-multi");
+  EXPECT_TRUE(r.ok()) << r.error << " (mismatches " << r.oracle_mismatches
+                      << ")";
+  EXPECT_GT(r.updates_applied, 0u);
+  EXPECT_GT(r.packets_processed, 0u);
+  EXPECT_EQ(r.oracle_mismatches, 0u);
+  // 4 writers x >= 256 paced messages each actually went through.
+  EXPECT_GE(r.updates_applied, 1024u);
+  // The swap churn forced the workers' persistent memos to rebind many
+  // times mid-trace (each publish rotates the replica under them).
+  EXPECT_GT(r.probe_memo_invalidations, 2u);
+}
+
+TEST(Scenario, RunManyParallelMatchesSequentialOrder) {
+  const std::vector<std::string> names = {"acl-like", "cache-thrash",
+                                          "zipf-locality"};
+  ScenarioRunner seq({.workers = 1, .scale = 0.04, .seed = 7,
+                      .parallel = 1});
+  ScenarioRunner par({.workers = 1, .scale = 0.04, .seed = 7,
+                      .parallel = 3});
+  const auto a = seq.run_many(names);
+  const auto b = par.run_many(names);
+  ASSERT_EQ(a.size(), names.size());
+  ASSERT_EQ(b.size(), names.size());
+  for (usize i = 0; i < names.size(); ++i) {
+    // Report order follows the request list regardless of completion
+    // order, and the deterministic (non-wall-clock) outputs agree.
+    EXPECT_EQ(a[i].name, names[i]);
+    EXPECT_EQ(b[i].name, names[i]);
+    EXPECT_TRUE(a[i].ok()) << a[i].error;
+    EXPECT_TRUE(b[i].ok()) << b[i].error;
+    EXPECT_EQ(a[i].rules, b[i].rules);
+    EXPECT_EQ(a[i].trace_packets, b[i].trace_packets);
+    EXPECT_EQ(a[i].oracle_checked, b[i].oracle_checked);
+    EXPECT_EQ(a[i].packets_processed, b[i].packets_processed);
+    EXPECT_EQ(a[i].matched, b[i].matched);
+  }
+  EXPECT_THROW((void)par.run_many({"acl-like", "nope"}), ConfigError);
 }
 
 TEST(Scenario, CacheThrashDefeatsCacheAndZipfFeedsIt) {

@@ -7,6 +7,8 @@
 ///   pclass_classify <rules_file> <trace_file> [--alg mbt|bst]
 ///                   [--mode first|cross] [--verify]
 ///                   [--batch-mode scalar|phase2]
+///                   [--memo persistent|per-batch|off]
+///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--workers N] [--batch B] [--cache DEPTH]
 ///
 /// With --workers the trace runs through the batched dataplane engine
@@ -14,11 +16,16 @@
 /// instead of the single-threaded classify loop.
 ///
 /// --batch-mode selects how batches run phase 2 (the A/B knob): scalar
-/// = packet-at-a-time, phase2 = sorted-key batch engine with the
-/// per-batch probe memo. It applies to the engine path and to the
-/// single-threaded loop (which then classifies in batches of --batch
-/// and reports host throughput, so the two modes can be compared
-/// directly). Default: phase2.
+/// = packet-at-a-time, phase2 = sorted-key batch engine. It applies to
+/// the engine path and to the single-threaded loop (which then
+/// classifies in batches of --batch and reports host throughput, so the
+/// two modes can be compared directly). Default: phase2.
+///
+/// --memo controls the combination-probe memo: persistent (default,
+/// snapshot-keyed, survives batch boundaries), per-batch (the PR-3
+/// reset, the A/B reference) or off. --path-policy pins the phase-2
+/// execution path instead of letting the per-worker EWMA controller
+/// pick it per batch.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -43,6 +50,9 @@ int usage() {
   std::cerr << "usage: pclass_classify <rules_file> <trace_file> "
                "[--alg mbt|bst] [--mode first|cross] [--verify]\n"
                "                       [--batch-mode scalar|phase2] "
+               "[--memo persistent|per-batch|off]\n"
+               "                       [--path-policy "
+               "adaptive|phase2|scalar-loop] "
                "[--workers N [--batch B] [--cache DEPTH]]\n"
                "(--batch/--cache configure the dataplane engine and "
                "require --workers)\n";
@@ -108,13 +118,25 @@ int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
   t.print(std::cout);
 
   const auto lat = rep.merged_latency();
-  u64 memo_hits = 0;
-  for (const auto& w : rep.workers) memo_hits += w.probe_memo_hits;
+  u64 memo_hits = 0, memo_inval = 0, b_scalar = 0, b_p2 = 0, b_p2m = 0;
+  for (const auto& w : rep.workers) {
+    memo_hits += w.probe_memo_hits;
+    memo_inval += w.probe_memo_invalidations;
+    b_scalar += w.path_scalar_loop_batches;
+    b_p2 += w.path_phase2_batches;
+    b_p2m += w.path_phase2_memo_batches;
+  }
   TextTable a({"metric", "value"});
   a.add_row({"engine", std::to_string(workers) + " workers x batch " +
                            std::to_string(batch) + " (" +
                            to_string(cfg.batch_mode) + ")"});
-  a.add_row({"probe memo hits", std::to_string(memo_hits)});
+  a.add_row({"probe memo hits", std::to_string(memo_hits) + " (" +
+                                    std::to_string(memo_inval) +
+                                    " invalidations)"});
+  a.add_row({"controller paths",
+             "scalar-loop " + std::to_string(b_scalar) + " / phase2 " +
+                 std::to_string(b_p2) + " / phase2+memo " +
+                 std::to_string(b_p2m) + " batches"});
   a.add_row({"load cost", std::to_string(load.cycles) + " bus cycles (1 "
                           "coalesced snapshot)"});
   a.add_row({"packets", std::to_string(rep.packets())});
@@ -158,6 +180,9 @@ int main(int argc, char** argv) {
   core::IpAlgorithm alg = core::IpAlgorithm::kMbt;
   core::CombineMode mode = core::CombineMode::kCrossProduct;
   core::BatchMode batch_mode = core::BatchMode::kPhase2;
+  core::PathPolicy path_policy = core::PathPolicy::kAdaptive;
+  bool probe_memo = true;
+  bool memo_persistent = true;
   bool verify = false;
   usize workers = 0;  // 0 = classic single-threaded loop
   usize batch = net::kDefaultBatchCapacity;
@@ -193,6 +218,28 @@ int main(int argc, char** argv) {
       if (v == "scalar") batch_mode = core::BatchMode::kScalar;
       else if (v == "phase2") batch_mode = core::BatchMode::kPhase2;
       else return usage();
+    } else if (flag == "--memo" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "persistent") {
+        probe_memo = true;
+        memo_persistent = true;
+      } else if (v == "per-batch") {
+        probe_memo = true;
+        memo_persistent = false;
+      } else if (v == "off") {
+        probe_memo = false;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--path-policy" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "adaptive") path_policy = core::PathPolicy::kAdaptive;
+      else if (v == "phase2") path_policy = core::PathPolicy::kForcePhase2;
+      else if (v == "scalar-loop") {
+        path_policy = core::PathPolicy::kForceScalarLoop;
+      } else {
+        return usage();
+      }
     } else if (flag == "--verify") {
       verify = true;
     } else {
@@ -215,6 +262,9 @@ int main(int argc, char** argv) {
     cfg.ip_algorithm = alg;
     cfg.combine_mode = mode;
     cfg.batch_mode = batch_mode;
+    cfg.batch_probe_memo = probe_memo;
+    cfg.batch_memo_persistent = memo_persistent;
+    cfg.batch_path_policy = path_policy;
 
     if (workers > 0) {
       return run_engine(rules, trace, cfg, workers, batch, cache_depth,
@@ -270,8 +320,23 @@ int main(int argc, char** argv) {
                               3) +
                    " Mpps (1 thread, batch " + std::to_string(batch) + ")"});
     if (memo_hits > 0) {
-      t.add_row({"probe memo hits", std::to_string(memo_hits)});
+      t.add_row({"probe memo hits",
+                 std::to_string(memo_hits) + " (" +
+                     std::to_string(scratch.memo_invalidations) +
+                     " invalidations)"});
     }
+    t.add_row(
+        {"controller paths",
+         "scalar-loop " +
+             std::to_string(
+                 scratch.controller.batches(core::BatchPath::kScalarLoop)) +
+             " / phase2 " +
+             std::to_string(
+                 scratch.controller.batches(core::BatchPath::kPhase2)) +
+             " / phase2+memo " +
+             std::to_string(
+                 scratch.controller.batches(core::BatchPath::kPhase2Memo)) +
+             " batches"});
     t.add_row({"load cost", std::to_string(load.cycles) + " bus cycles (" +
                                 TextTable::num(
                                     static_cast<double>(load.cycles) /

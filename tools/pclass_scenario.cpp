@@ -9,17 +9,24 @@
 ///
 ///   pclass_scenario [--list] [--scenario NAME]... [--smoke]
 ///                   [--workers N] [--cache-depth N] [--seed N]
-///                   [--scale F] [--out FILE]
+///                   [--scale F] [--out FILE] [--parallel N]
 ///                   [--batch-mode scalar|phase2]
+///                   [--memo persistent|per-batch]
+///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--save-workloads DIR] [--load-workloads DIR]
 ///
 /// --smoke shrinks every workload (~6x) for fast CI runs. The report
 /// goes to stdout unless --out names a file.
 ///
+/// The catalog runs on a small thread pool (scenarios are independent;
+/// the report keeps catalog order) — --parallel 1 restores sequential
+/// runs, --parallel N sets the pool size, default is auto.
+///
 /// --save-workloads writes each scenario's synthesized ruleset/trace as
 /// versioned PCR1/PCT1 binaries; --load-workloads replays them instead
 /// of re-synthesizing, so two runs (e.g. scalar vs phase2 batch mode,
-/// or two PRs) measure byte-identical workloads.
+/// persistent vs per-batch probe memo via --memo, or two PRs) measure
+/// byte-identical workloads.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,7 +43,10 @@ namespace {
 int usage() {
   std::cerr << "usage: pclass_scenario [--list] [--scenario NAME]... "
                "[--smoke] [--workers N] [--cache-depth N] [--seed N] "
-               "[--scale F] [--out FILE] [--batch-mode scalar|phase2] "
+               "[--scale F] [--out FILE] [--parallel N] "
+               "[--batch-mode scalar|phase2] "
+               "[--memo persistent|per-batch] "
+               "[--path-policy adaptive|phase2|scalar-loop] "
                "[--save-workloads DIR] [--load-workloads DIR]\n";
   return 2;
 }
@@ -81,6 +91,23 @@ int main(int argc, char** argv) {
       if (v == "scalar") opts.batch_mode = core::BatchMode::kScalar;
       else if (v == "phase2") opts.batch_mode = core::BatchMode::kPhase2;
       else return usage();
+    } else if (flag == "--memo" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "persistent") opts.memo_persistent = true;
+      else if (v == "per-batch") opts.memo_persistent = false;
+      else return usage();
+    } else if (flag == "--path-policy" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "adaptive") opts.path_policy = core::PathPolicy::kAdaptive;
+      else if (v == "phase2") opts.path_policy = core::PathPolicy::kForcePhase2;
+      else if (v == "scalar-loop") {
+        opts.path_policy = core::PathPolicy::kForceScalarLoop;
+      } else {
+        return usage();
+      }
+    } else if (flag == "--parallel" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || n > 64) return usage();
+      opts.parallel = static_cast<usize>(n);
     } else if (flag == "--save-workloads" && i + 1 < argc) {
       opts.save_workloads_dir = argv[++i];
     } else if (flag == "--load-workloads" && i + 1 < argc) {
@@ -99,15 +126,8 @@ int main(int argc, char** argv) {
 
   try {
     workload::ScenarioRunner runner(opts);
-    std::vector<workload::ScenarioResult> results;
-    if (wanted.empty()) {
-      results = runner.run_all();
-    } else {
-      results.reserve(wanted.size());
-      for (const std::string& name : wanted) {
-        results.push_back(runner.run(name));
-      }
-    }
+    const std::vector<workload::ScenarioResult> results =
+        wanted.empty() ? runner.run_all() : runner.run_many(wanted);
 
     // Human-readable progress on stderr; the JSON report is the output.
     for (const auto& r : results) {
@@ -119,7 +139,8 @@ int main(int argc, char** argv) {
                 << (r.oracle_checked - r.oracle_mismatches) << "/"
                 << r.oracle_checked;
       if (r.probe_memo_hits > 0) {
-        std::cerr << ", memo " << r.probe_memo_hits;
+        std::cerr << ", memo " << r.probe_memo_hits << " (inval "
+                  << r.probe_memo_invalidations << ")";
       }
       if (r.updates_applied > 0) {
         std::cerr << ", " << r.updates_applied << " updates";
