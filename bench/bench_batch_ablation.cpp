@@ -1,8 +1,9 @@
 /// \file bench_batch_ablation.cpp
 /// Phase-2 batch engine ablation: scalar vs phase2 (memo off) vs phase2
-/// with the per-batch memo vs phase2 with the persistent snapshot-keyed
-/// memo vs the adaptive path controller, across batch sizes, on three
-/// workload shapes —
+/// with the per-batch memo vs the persistent snapshot-keyed memo at
+/// ways=1 (direct-mapped) and ways=2 (set-associative) vs the adaptive
+/// cost-model path controller, across batch sizes, on three workload
+/// shapes —
 ///
 ///   * fw-like      wildcard-heavy lists, heavy combination reuse
 ///                  (the probe memo's home turf);
@@ -46,6 +47,7 @@ struct Point {
   u64 p99_cycles = 0;
   u64 memo_hits = 0;
   u64 memo_invalidations = 0;
+  u64 memo_conflict_evictions = 0;
 };
 
 Point run_point(const core::ConfigurableClassifier& clf,
@@ -66,6 +68,7 @@ Point run_point(const core::ConfigurableClassifier& clf,
   Point p;
   p.mpps = secs <= 0 ? 0.0 : static_cast<double>(in.size()) / 1e6 / secs;
   p.memo_invalidations = scratch.memo_invalidations;
+  p.memo_conflict_evictions = scratch.memo.conflict_evictions();
   u64 total = 0;
   std::vector<u64> cycles;
   cycles.reserve(out.size());
@@ -181,46 +184,53 @@ int main(int argc, char** argv) {
         run_point(clf, in, net::kDefaultBatchCapacity, scalar_res);
 
     // The mode matrix: forced rows isolate one mechanism each (batch
-    // engine alone; + per-batch memo; + persistent memo — the lifetime
-    // A/B), the adaptive row is the shipping configuration (EWMA
-    // controller free to pick any path per batch).
+    // engine alone; + per-batch memo; + persistent memo at ways=1 vs
+    // ways=2 — the lifetime and associativity A/Bs), the adaptive row
+    // is the shipping configuration (cost-model controller free to
+    // pick any path per batch).
     struct ModeSpec {
       const char* name;
       core::PathPolicy policy;
       bool memo;
       bool persistent;
+      u32 ways;
     };
     constexpr ModeSpec kModes[] = {
-        {"phase2", core::PathPolicy::kForcePhase2, false, true},
-        {"p2+memo/batch", core::PathPolicy::kForcePhase2, true, false},
-        {"p2+memo/persist", core::PathPolicy::kForcePhase2, true, true},
-        {"adaptive", core::PathPolicy::kAdaptive, true, true},
+        {"phase2", core::PathPolicy::kForcePhase2, false, true, 2},
+        {"p2+memo/batch", core::PathPolicy::kForcePhase2, true, false, 2},
+        {"p2+memo/persist", core::PathPolicy::kForcePhase2, true, true, 1},
+        {"p2+memo/persist", core::PathPolicy::kForcePhase2, true, true, 2},
+        {"adaptive", core::PathPolicy::kAdaptive, true, true, 2},
     };
 
-    TextTable t({"batch", "mode", "Mpps", "vs scalar", "mean cyc",
-                 "p99 cyc", "memo hits", "inval"});
-    t.add_row({"-", "scalar", TextTable::num(scalar.mpps, 3), "1.00x",
+    TextTable t({"batch", "mode", "ways", "Mpps", "vs scalar", "mean cyc",
+                 "p99 cyc", "memo hits", "confl", "inval"});
+    t.add_row({"-", "scalar", "-", TextTable::num(scalar.mpps, 3), "1.00x",
                TextTable::num(scalar.mean_cycles, 1),
-               std::to_string(scalar.p99_cycles), "0", "-"});
+               std::to_string(scalar.p99_cycles), "0", "-", "-"});
     for (const usize batch : {usize{8}, usize{32}, usize{128}}) {
       for (const ModeSpec& mode : kModes) {
         clf.set_batch_mode(core::BatchMode::kPhase2);
         clf.set_batch_path_policy(mode.policy);
         clf.set_batch_probe_memo(mode.memo);
         clf.set_batch_memo_persistent(mode.persistent);
+        clf.set_batch_memo_ways(mode.ways);
         const Point p = run_point(clf, in, batch, out);
         if (!equivalent(out, scalar_res)) {
-          std::cerr << "FAIL: " << mode.name << " (batch " << batch
+          std::cerr << "FAIL: " << mode.name << "/w" << mode.ways
+                    << " (batch " << batch
                     << ") diverged from the scalar path on " << shape.name
                     << "\n";
           ok = false;
         }
         t.add_row({std::to_string(batch), mode.name,
+                   mode.memo ? std::to_string(mode.ways) : "-",
                    TextTable::num(p.mpps, 3),
                    TextTable::num(p.mpps / scalar.mpps, 2) + "x",
                    TextTable::num(p.mean_cycles, 1),
                    std::to_string(p.p99_cycles),
                    std::to_string(p.memo_hits),
+                   std::to_string(p.memo_conflict_evictions),
                    std::to_string(p.memo_invalidations)});
       }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
@@ -27,7 +28,15 @@ u64 next_device_id() {
 }  // namespace
 
 ConfigurableClassifier::ConfigurableClassifier(ClassifierConfig cfg)
-    : cfg_(cfg),
+    : cfg_([&] {
+        // Reject a bad memo geometry at construction, not from the
+        // first memo-eligible batch deep in a dataplane worker.
+        if (!ProbeMemo::valid_ways(cfg.batch_memo_ways)) {
+          throw ConfigError(
+              "ClassifierConfig: batch_memo_ways must be 1 or 2");
+        }
+        return cfg;
+      }()),
       device_id_(next_device_id()),
       ip_tables_{alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kSrcIpHi),
                  alg::LabelTable<ruleset::SegmentPrefix>(Dimension::kSrcIpLo),
@@ -88,6 +97,13 @@ ConfigurableClassifier::ConfigurableClassifier(ClassifierConfig cfg)
 }
 
 ConfigurableClassifier::~ConfigurableClassifier() = default;
+
+void ConfigurableClassifier::set_batch_memo_ways(u32 ways) {
+  if (!ProbeMemo::valid_ways(ways)) {
+    throw ConfigError("set_batch_memo_ways: ways must be 1 or 2");
+  }
+  cfg_.batch_memo_ways = ways;
+}
 
 ruleset::SegmentPrefix ConfigurableClassifier::ip_segment(
     const ruleset::Rule& r, usize ip_dim_index) {
@@ -546,9 +562,25 @@ void ConfigurableClassifier::classify_batch(
   }
 
   // Pick the execution path: forced by policy, or by the per-scratch
-  // EWMA controller. Every path yields identical verdicts and
-  // per-packet memory accesses, so this only moves host work.
+  // controller's cost model evaluated at this batch's (packets,
+  // distinct_keys) point. Every path yields identical verdicts and
+  // per-packet memory accesses, so this only moves host work. The
+  // distinct count is only computed when the controller consumes it —
+  // forced policies skip the O(n log n) fingerprint sort entirely.
   const bool memo_eligible = cfg_.batch_probe_memo;
+  const bool adaptive = cfg_.batch_path_policy == PathPolicy::kAdaptive;
+  usize distinct = in.size();
+  if (adaptive) {
+    scratch.distinct_fp.clear();
+    for (const net::FiveTuple& t : in) {
+      scratch.distinct_fp.push_back(std::hash<net::FiveTuple>{}(t));
+    }
+    std::sort(scratch.distinct_fp.begin(), scratch.distinct_fp.end());
+    scratch.distinct_fp.erase(std::unique(scratch.distinct_fp.begin(),
+                                          scratch.distinct_fp.end()),
+                              scratch.distinct_fp.end());
+    distinct = scratch.distinct_fp.size();
+  }
   BatchPath path = BatchPath::kPhase2;
   switch (cfg_.batch_path_policy) {
     case PathPolicy::kForceScalarLoop:
@@ -558,7 +590,7 @@ void ConfigurableClassifier::classify_batch(
       path = memo_eligible ? BatchPath::kPhase2Memo : BatchPath::kPhase2;
       break;
     case PathPolicy::kAdaptive:
-      path = scratch.controller.choose(memo_eligible);
+      path = scratch.controller.choose(memo_eligible, in.size(), distinct);
       break;
   }
 
@@ -566,7 +598,6 @@ void ConfigurableClassifier::classify_batch(
   // skip the two clock reads per batch so forced ablation rows carry no
   // overhead the scalar baseline doesn't (observe() with a negative
   // cost still keeps the per-path batch counters truthful).
-  const bool adaptive = cfg_.batch_path_policy == PathPolicy::kAdaptive;
   std::chrono::steady_clock::time_point t0;
   if (adaptive) t0 = std::chrono::steady_clock::now();
   if (path == BatchPath::kScalarLoop) {
@@ -583,7 +614,7 @@ void ConfigurableClassifier::classify_batch(
              std::chrono::steady_clock::now() - t0)
              .count();
   }
-  scratch.controller.observe(path, ns, in.size());
+  scratch.controller.observe(path, ns, in.size(), distinct);
 }
 
 namespace {
@@ -739,8 +770,13 @@ void ConfigurableClassifier::classify_batch_phase2(
   // invalidates unconditionally.
   ProbeMemo* memo = nullptr;
   if (use_memo) {
-    if (s.memo.slots() < cfg_.batch_memo_slots) {
-      s.memo = ProbeMemo(cfg_.batch_memo_slots);
+    // Rebuild on any geometry mismatch — including shrinks: a config
+    // asking for a 16-slot memo must actually get one (the fuzz
+    // harness's set-pressure dimension depends on it), not silently
+    // keep the scratch's larger default.
+    if (s.memo.slots() != ProbeMemo::normalized_slots(cfg_.batch_memo_slots) ||
+        s.memo.ways() != cfg_.batch_memo_ways) {
+      s.memo = ProbeMemo(cfg_.batch_memo_slots, cfg_.batch_memo_ways);
     }
     bool invalidated = true;
     if (cfg_.batch_memo_persistent) {

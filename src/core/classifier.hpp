@@ -152,12 +152,18 @@ struct BatchScratch {
   /// dataplane worker as probe_memo_invalidations.
   u64 memo_invalidations = 0;
 
-  /// The online path controller (PathPolicy::kAdaptive): EWMA host
-  /// ns/packet per execution path, picked per batch. Replaces the
-  /// hand-tuned 2%/5% window-threshold bypass gates of earlier
-  /// revisions. Also the authoritative per-path batch counters (forced
-  /// policies count here too).
+  /// The online path controller (PathPolicy::kAdaptive): a per-path
+  /// linear cost model ns = a*packets + b*distinct_keys fitted from
+  /// measured host time, argmin-picked per batch at the batch's own
+  /// (packets, distinct) point. Replaces the hand-tuned 2%/5%
+  /// window-threshold bypass gates of earlier revisions. Also the
+  /// authoritative per-path batch counters (forced policies count here
+  /// too).
   PathController controller;
+  /// Scratch for the controller's distinct-header count (header
+  /// fingerprints, sorted per batch; reused so the count allocates
+  /// nothing in steady state).
+  std::vector<u64> distinct_fp;
 };
 
 /// The configurable classification device plus its controller shadow.
@@ -210,6 +216,13 @@ class ConfigurableClassifier {
   void set_batch_memo_persistent(bool on) {
     cfg_.batch_memo_persistent = on;
   }
+
+  /// Memo associativity (2 = set-associative default, 1 = the
+  /// direct-mapped A/B reference; software decision, free — the scratch
+  /// memo is rebuilt at the next batch).
+  /// \throws ConfigError for unsupported geometries, here rather than
+  /// from the first memo-eligible batch on the hot path.
+  void set_batch_memo_ways(u32 ways);
 
   /// Per-batch execution-path policy (adaptive controller vs forced
   /// path; software decision, free).

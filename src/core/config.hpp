@@ -95,6 +95,11 @@ struct ClassifierConfig {
   bool batch_probe_memo = true;
   /// Slots of that memo (rounded up to a power of two).
   u32 batch_memo_slots = 512;
+  /// Memo associativity: 2 (default) = two tagged ways per set with
+  /// per-set LRU, so hot cross-batch combinations colliding on a set
+  /// coexist; 1 = the direct-mapped layout, kept as the --memo-ways 1
+  /// A/B reference. Same total slot count either way.
+  u32 batch_memo_ways = 2;  // == ProbeMemo::kDefaultWays
   /// Persistent memo lifetime (the default): entries survive batch
   /// boundaries and are invalidated only when the device they were
   /// cached against changes (snapshot swap / in-place update). false

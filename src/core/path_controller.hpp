@@ -13,14 +13,42 @@
 ///                        Filter (cheapest when label combinations
 ///                        repeat, e.g. fw-like or Zipf traffic).
 ///
-/// Earlier revisions picked between these with two hand-tuned
-/// window-threshold gates (bypass the memo under a 2% window hit rate;
-/// bypass the batch engine under 5% combine sharing) — constants tuned
-/// on one host that the ROADMAP flagged for replacement. This
-/// controller replaces both: it keeps an EWMA of *measured host
-/// nanoseconds per packet* for each path and picks the cheapest one per
-/// batch, with periodic exploration so a path whose estimate went stale
-/// (traffic shifted) is re-measured and can win back the slot.
+/// v1 of this controller kept a flat EWMA of host ns/packet per path and
+/// picked the argmin. That collapses every batch to one number, which
+/// breaks on the dataplane where batch *size and sharing* vary wildly:
+/// ClassifierElement feeds only the flow-cache misses through, so after
+/// warm-up most batches are tiny all-distinct remnants. A path whose
+/// estimate was trained on those (high ns/packet: fixed per-batch work
+/// amortized over few packets, no intra-batch sharing to exploit) looks
+/// expensive even when it would win on the occasional full batch — the
+/// small cache-miss-only batches poison the estimate for every size.
+///
+/// v2 replaces the flat EWMA with a *size-normalized two-parameter cost
+/// model* per path, fitted online:
+///
+///     ns(batch) = a * packets + b * distinct_keys
+///
+/// `packets` is the batch length; `distinct_keys` is the number of
+/// distinct headers in it — the quantity every sharing layer of the
+/// batch engine (sorted-run dedup, list-read memo, combine memo, probe
+/// memo) actually scales with. A batch-shaped path (phase2) has small
+/// `a` (per-packet replay is cheap) and large `b` (each distinct key
+/// pays the real walk); the scalar loop is the opposite (a ~ the full
+/// per-lookup cost, b ~ 0). Fitting both coefficients lets one model
+/// predict the cost of a 2-packet all-distinct remnant batch *and* a
+/// 256-packet Zipf batch correctly, so the per-batch argmin is taken at
+/// the batch's own (packets, distinct) point instead of a global
+/// average — mixed-size traffic converges instead of thrashing.
+///
+/// The fit is decayed least squares over the two features: each arm
+/// keeps exponentially-decayed sufficient statistics (Σn², Σnd, Σd²,
+/// Σny, Σdy) and solves the 2x2 normal equations per query. When the
+/// features are collinear (d locked to n, e.g. an all-distinct trace —
+/// the 2x2 system is singular) it falls back to the one-parameter
+/// ns-per-packet fit, which is exactly v1's model and correct in that
+/// regime. Negative coefficients (noise, early observations) are
+/// refitted with the offending feature dropped, so predictions are
+/// never negative.
 ///
 /// The controller lives in the caller-owned BatchScratch (one dataplane
 /// worker = one scratch), so every worker adapts to its own traffic
@@ -53,15 +81,23 @@ inline constexpr usize kNumBatchPaths = 3;
   return "?";
 }
 
-/// Per-scratch epsilon-greedy path picker over EWMA host-cost
-/// estimates. Not thread-safe by design — one instance per worker
-/// scratch, touched only by that worker.
+/// Per-path fitted cost-model coefficients (for reports):
+/// predicted ns = ns_per_packet * packets + ns_per_distinct_key * distinct.
+struct PathCostModel {
+  double ns_per_packet = 0;        ///< a
+  double ns_per_distinct_key = 0;  ///< b
+};
+
+/// Per-scratch epsilon-greedy path picker over per-path linear cost
+/// models. Not thread-safe by design — one instance per worker scratch,
+/// touched only by that worker.
 class PathController {
  public:
-  /// EWMA smoothing: each observation contributes 1/4. Structural (a
-  /// convergence-speed / noise-rejection tradeoff), not workload-tuned:
-  /// ~8 batches to forget a stale estimate at any batch size.
-  static constexpr double kAlpha = 0.25;
+  /// Decay of the sufficient statistics per observation: each new batch
+  /// contributes 1/16 of the total weight in steady state (~16-batch
+  /// memory). Structural (convergence-speed / noise-rejection
+  /// tradeoff), not workload-tuned.
+  static constexpr double kDecay = 15.0 / 16.0;
   /// Every kExplorePeriod-th decision measures a non-best eligible path
   /// (round-robin) instead of exploiting, so estimates track shifting
   /// traffic. ~4% steady-state exploration overhead, bounded by the
@@ -70,16 +106,18 @@ class PathController {
   /// Batches each eligible path is measured before exploitation starts.
   static constexpr u64 kWarmup = 2;
 
-  /// Pick the path for the next batch. \p memo_eligible gates the
+  /// Pick the path for the next batch of \p packets headers, \p
+  /// distinct_keys of them distinct. \p memo_eligible gates the
   /// kPhase2Memo arm (config has the memo off => never chosen).
-  [[nodiscard]] BatchPath choose(bool memo_eligible) {
+  [[nodiscard]] BatchPath choose(bool memo_eligible, usize packets,
+                                 usize distinct_keys) {
     ++decisions_;
     // Warm-up: measure every eligible arm kWarmup times first.
     for (usize a = 0; a < kNumBatchPaths; ++a) {
       if (!eligible(static_cast<BatchPath>(a), memo_eligible)) continue;
       if (arms_[a].observations < kWarmup) return static_cast<BatchPath>(a);
     }
-    const BatchPath best = cheapest(memo_eligible);
+    const BatchPath best = cheapest(memo_eligible, packets, distinct_keys);
     if (decisions_ % kExplorePeriod == 0) {
       // Exploration slot: rotate over the non-best eligible arms.
       for (usize step = 0; step < kNumBatchPaths; ++step) {
@@ -94,17 +132,59 @@ class PathController {
     return best;
   }
 
-  /// Record the measured host cost of the batch just served.
-  void observe(BatchPath path, double host_ns, usize packets) {
+  /// Record the measured host cost of the batch just served. A negative
+  /// \p host_ns (forced-policy batches skip the clock reads) still
+  /// counts the batch for the per-path counters but feeds no statistics.
+  void observe(BatchPath path, double host_ns, usize packets,
+               usize distinct_keys) {
     ArmState& a = arms_[static_cast<usize>(path)];
     ++a.batches;
     if (packets == 0 || host_ns < 0) return;
-    const double ns_per_pkt = host_ns / static_cast<double>(packets);
-    a.ewma_ns_per_pkt = a.observations == 0
-                            ? ns_per_pkt
-                            : kAlpha * ns_per_pkt +
-                                  (1.0 - kAlpha) * a.ewma_ns_per_pkt;
+    // distinct is structurally in [1, packets]; clamp so a caller that
+    // skipped the count (0) cannot corrupt the fit.
+    const double n = static_cast<double>(packets);
+    const double d = static_cast<double>(
+        distinct_keys == 0 ? packets
+                           : (distinct_keys > packets ? packets
+                                                      : distinct_keys));
+    a.s_nn = kDecay * a.s_nn + n * n;
+    a.s_nd = kDecay * a.s_nd + n * d;
+    a.s_dd = kDecay * a.s_dd + d * d;
+    a.s_ny = kDecay * a.s_ny + n * host_ns;
+    a.s_dy = kDecay * a.s_dy + d * host_ns;
     ++a.observations;
+  }
+
+  /// Predicted host cost of serving (packets, distinct) via \p path.
+  [[nodiscard]] double predict_ns(BatchPath path, usize packets,
+                                  usize distinct_keys) const {
+    const PathCostModel m = cost_model(path);
+    return m.ns_per_packet * static_cast<double>(packets) +
+           m.ns_per_distinct_key * static_cast<double>(distinct_keys);
+  }
+
+  /// The fitted (a, b) for \p path: solve the decayed 2x2 normal
+  /// equations; fall back to the one-feature ns-per-packet fit when the
+  /// features are collinear (singular system) or a coefficient comes out
+  /// negative (both coefficients are costs — physically >= 0).
+  [[nodiscard]] PathCostModel cost_model(BatchPath path) const {
+    const ArmState& s = arms_[static_cast<usize>(path)];
+    PathCostModel m;
+    if (s.observations == 0) return m;
+    const double det = s.s_nn * s.s_dd - s.s_nd * s.s_nd;
+    // Relative singularity test: det of a collinear system is ~0 against
+    // the scale of its diagonal product.
+    if (det > 1e-9 * s.s_nn * s.s_dd) {
+      m.ns_per_packet = (s.s_ny * s.s_dd - s.s_dy * s.s_nd) / det;
+      m.ns_per_distinct_key = (s.s_dy * s.s_nn - s.s_ny * s.s_nd) / det;
+      if (m.ns_per_packet >= 0 && m.ns_per_distinct_key >= 0) return m;
+    }
+    if (m.ns_per_packet < 0 && s.s_dd > 0) {
+      // Packets came out as a credit: charge everything to distinct keys.
+      return {0.0, s.s_dy / s.s_dd};
+    }
+    // Collinear or negative-b: the v1 regime — one ns-per-packet slope.
+    return {s.s_nn > 0 ? s.s_ny / s.s_nn : 0.0, 0.0};
   }
 
   /// Batches served via \p path (forced-policy batches are counted too,
@@ -113,14 +193,20 @@ class PathController {
     return arms_[static_cast<usize>(path)].batches;
   }
 
-  [[nodiscard]] double ewma_ns_per_pkt(BatchPath path) const {
-    return arms_[static_cast<usize>(path)].ewma_ns_per_pkt;
+  /// Timed observations folded into \p path's fit (0 under forced
+  /// policies, which skip the clock).
+  [[nodiscard]] u64 observations(BatchPath path) const {
+    return arms_[static_cast<usize>(path)].observations;
   }
 
  private:
   struct ArmState {
-    double ewma_ns_per_pkt = 0;
-    u64 observations = 0;  ///< EWMA samples folded in
+    // Exponentially-decayed sufficient statistics of the least-squares
+    // fit ns ~= a*n + b*d over the observed (n=packets, d=distinct,
+    // y=host ns) triples.
+    double s_nn = 0, s_nd = 0, s_dd = 0;
+    double s_ny = 0, s_dy = 0;
+    u64 observations = 0;  ///< timed samples folded in
     u64 batches = 0;       ///< batches served via this path
   };
 
@@ -128,12 +214,14 @@ class PathController {
     return p != BatchPath::kPhase2Memo || memo_eligible;
   }
 
-  [[nodiscard]] BatchPath cheapest(bool memo_eligible) const {
+  [[nodiscard]] BatchPath cheapest(bool memo_eligible, usize packets,
+                                   usize distinct_keys) const {
     BatchPath best = BatchPath::kPhase2;
-    double best_cost = arms_[static_cast<usize>(best)].ewma_ns_per_pkt;
+    double best_cost = predict_ns(best, packets, distinct_keys);
     for (usize a = 0; a < kNumBatchPaths; ++a) {
       if (!eligible(static_cast<BatchPath>(a), memo_eligible)) continue;
-      const double cost = arms_[a].ewma_ns_per_pkt;
+      const double cost =
+          predict_ns(static_cast<BatchPath>(a), packets, distinct_keys);
       if (cost < best_cost) {
         best = static_cast<BatchPath>(a);
         best_cost = cost;

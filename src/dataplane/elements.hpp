@@ -191,10 +191,23 @@ class ClassifierElement : public Element {
   [[nodiscard]] u64 probe_memo_invalidations() const {
     return scratch_.memo_invalidations;
   }
+  /// Memo replacements that evicted a live entry of another key (the
+  /// associativity A/B observable).
+  [[nodiscard]] u64 probe_memo_conflict_evictions() const {
+    return scratch_.memo.conflict_evictions();
+  }
   /// Batches this worker served via each execution path (the
   /// controller's choices, or the forced policy's).
   [[nodiscard]] u64 path_batches(core::BatchPath p) const {
     return scratch_.controller.batches(p);
+  }
+  /// The controller's fitted cost model for \p p (zeros under forced
+  /// policies: no timed observations).
+  [[nodiscard]] core::PathCostModel controller_model(core::BatchPath p) const {
+    return scratch_.controller.cost_model(p);
+  }
+  [[nodiscard]] u64 controller_observations(core::BatchPath p) const {
+    return scratch_.controller.observations(p);
   }
   /// Lowest/highest snapshot version observed; both 0 when the worker
   /// never processed a batch (the sentinel must not leak into reports).

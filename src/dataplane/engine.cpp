@@ -12,6 +12,47 @@ double seconds_since(Clock::time_point t0) {
 }
 }  // namespace
 
+// ---- WorkerBudget ---------------------------------------------------------
+
+WorkerBudget::WorkerBudget(usize capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw ConfigError("WorkerBudget: capacity must be >= 1");
+  }
+}
+
+usize WorkerBudget::acquire(usize want) {
+  const usize grant = std::max<usize>(1, std::min(want, capacity_));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return capacity_ - in_use_ >= grant; });
+  in_use_ += grant;
+  peak_ = std::max(peak_, in_use_);
+  return grant;
+}
+
+void WorkerBudget::release(usize granted) {
+  if (granted == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (granted > in_use_) {
+      throw InternalError("WorkerBudget: release of more slots than held");
+    }
+    in_use_ -= granted;
+  }
+  cv_.notify_all();
+}
+
+usize WorkerBudget::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+usize WorkerBudget::peak_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+// ---- Engine ---------------------------------------------------------------
+
 Engine::Engine(EngineConfig cfg, const RuleProgramPublisher& programs)
     : cfg_(cfg), programs_(&programs) {
   if (cfg_.workers == 0) cfg_.workers = 1;
@@ -30,7 +71,15 @@ void Engine::start(TrafficPool& pool) {
   }
   stop_.store(false, std::memory_order_relaxed);
   workers_.clear();
-  for (usize i = 0; i < cfg_.workers; ++i) {
+  // Draw this engine's worker threads from the shared budget (blocking
+  // until the whole grant is free), so concurrent engines never exceed
+  // the budget's capacity in total.
+  usize worker_count = cfg_.workers;
+  if (cfg_.budget != nullptr) {
+    budget_granted_ = cfg_.budget->acquire(cfg_.workers);
+    worker_count = budget_granted_;
+  }
+  for (usize i = 0; i < worker_count; ++i) {
     auto w = std::make_unique<Worker>();
     w->source = w->pipeline.emplace<PacketSource>(&pool, cfg_.loop);
     w->parser = w->pipeline.emplace<Parser>();
@@ -66,6 +115,10 @@ void Engine::start(TrafficPool& pool) {
       if (w->thread.joinable()) w->thread.join();
     }
     workers_.clear();
+    if (budget_granted_ > 0) {
+      cfg_.budget->release(budget_granted_);
+      budget_granted_ = 0;
+    }
     throw;
   }
   running_ = true;
@@ -96,6 +149,12 @@ EngineReport Engine::finish(bool signal_stop) {
   if (running_) {
     wall_seconds_ = wall;
     running_ = false;
+  }
+  // Every worker has joined: give the grant back (idempotent — stop()
+  // may be called again).
+  if (budget_granted_ > 0) {
+    cfg_.budget->release(budget_granted_);
+    budget_granted_ = 0;
   }
   return collect();
 }
@@ -128,12 +187,19 @@ EngineReport Engine::collect() const {
     r.memory_accesses = w.sink->memory_accesses();
     r.probe_memo_hits = w.classifier->probe_memo_hits();
     r.probe_memo_invalidations = w.classifier->probe_memo_invalidations();
+    r.probe_memo_conflict_evictions =
+        w.classifier->probe_memo_conflict_evictions();
     r.path_scalar_loop_batches =
         w.classifier->path_batches(core::BatchPath::kScalarLoop);
     r.path_phase2_batches =
         w.classifier->path_batches(core::BatchPath::kPhase2);
     r.path_phase2_memo_batches =
         w.classifier->path_batches(core::BatchPath::kPhase2Memo);
+    for (usize p = 0; p < core::kNumBatchPaths; ++p) {
+      const auto path = static_cast<core::BatchPath>(p);
+      r.controller_models[p] = w.classifier->controller_model(path);
+      r.controller_observations[p] = w.classifier->controller_observations(path);
+    }
     r.cache_misses = w.cache == nullptr ? 0 : w.cache->stats().misses;
     r.min_version = w.classifier->min_version();
     r.max_version = w.classifier->max_version();

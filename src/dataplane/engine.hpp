@@ -10,7 +10,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,48 @@
 #include "dataplane/stats.hpp"
 
 namespace pclass::dataplane {
+
+/// Shared, semaphore-style budget of engine worker threads. Concurrent
+/// engines (e.g. scenarios run by ScenarioRunner::run_many --parallel)
+/// draw their workers from one budget, so total concurrent engine
+/// worker threads never exceed the capacity — the scenarios x workers
+/// oversubscription a parallel catalog run would otherwise inflict on a
+/// small CI runner.
+///
+/// Grants are all-or-nothing: acquire() blocks until the full request
+/// is free and takes it in one step, so an engine always runs with the
+/// same worker count whether the budget is contended or not — which is
+/// what keeps a capped parallel run's reports identical to the
+/// sequential run's. A request larger than the capacity is clamped to
+/// it (the engine runs at the cap instead of deadlocking).
+///
+/// Thread-safe. An engine holds its grant from start() until the last
+/// worker joined, so peak_in_use() is a high-water mark of concurrent
+/// engine worker threads.
+class WorkerBudget {
+ public:
+  /// \throws ConfigError when \p capacity == 0.
+  explicit WorkerBudget(usize capacity);
+
+  /// Block until min(want, capacity) slots are free, take them all, and
+  /// return the granted count (>= 1).
+  [[nodiscard]] usize acquire(usize want);
+
+  /// Return \p granted slots (the exact count acquire() returned).
+  void release(usize granted);
+
+  [[nodiscard]] usize capacity() const { return capacity_; }
+  [[nodiscard]] usize in_use() const;
+  /// High-water mark of concurrently-granted slots since construction.
+  [[nodiscard]] usize peak_in_use() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  usize capacity_;
+  usize in_use_ = 0;
+  usize peak_ = 0;
+};
 
 /// Engine geometry and policy.
 struct EngineConfig {
@@ -29,6 +73,11 @@ struct EngineConfig {
   /// false: drain the pool once and return (run()).
   /// true: wrap the pool endlessly until stop() (start()/stop()).
   bool loop = false;
+  /// When set, start() acquires `workers` slots from this budget
+  /// (blocking; clamped to its capacity) and runs with the granted
+  /// count; the grant is released once every worker joined. nullptr =
+  /// unbudgeted.
+  WorkerBudget* budget = nullptr;
 };
 
 /// Multi-worker batched dataplane runtime.
@@ -76,6 +125,7 @@ class Engine {
   std::atomic<bool> stop_{false};
   bool running_ = false;
   double wall_seconds_ = 0;
+  usize budget_granted_ = 0;  ///< slots held from cfg_.budget, 0 = none
 };
 
 }  // namespace pclass::dataplane

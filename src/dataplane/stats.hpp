@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/path_controller.hpp"
 
 namespace pclass::dataplane {
 
@@ -111,11 +112,21 @@ struct WorkerReport {
   /// Times the persistent probe memo dropped its entries (initial bind
   /// plus one per snapshot swap this worker classified across).
   u64 probe_memo_invalidations = 0;
+  /// Memo replacements that overwrote a live entry of another key — the
+  /// conflict misses the 2-way geometry exists to reduce (the
+  /// --memo-ways 1-vs-2 A/B observable).
+  u64 probe_memo_conflict_evictions = 0;
   /// Batches served via each phase-2 execution path (the per-worker
-  /// EWMA controller's choices; forced policies count here too).
+  /// controller's choices; forced policies count here too).
   u64 path_scalar_loop_batches = 0;
   u64 path_phase2_batches = 0;
   u64 path_phase2_memo_batches = 0;
+  /// The controller's fitted per-path cost model
+  /// (ns = a*packets + b*distinct_keys), indexed by core::BatchPath,
+  /// plus the timed observation count behind each fit (0 under forced
+  /// policies, which skip the clock — the models stay zero there).
+  std::array<core::PathCostModel, core::kNumBatchPaths> controller_models{};
+  std::array<u64, core::kNumBatchPaths> controller_observations{};
   u64 min_version = 0;   ///< lowest rule-program version observed
   u64 max_version = 0;   ///< highest rule-program version observed
   bool version_monotonic = true;  ///< versions never went backwards

@@ -63,6 +63,8 @@ ScenarioWorkload obtain_workload(
   return w;
 }
 
+using dataplane::WorkerBudget;
+
 /// Copy the engine-side measurement into the result.
 void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
   r.packets_processed = rep.packets();
@@ -76,21 +78,40 @@ void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
   r.max_cycles = lat.max();
   u64 hits = 0, misses = 0, min_v = 0, max_v = 0;
   bool first = true;
+  std::array<usize, core::kNumBatchPaths> fitted_workers{};
   for (const auto& w : rep.workers) {
     hits += w.cache_hits;
     misses += w.cache_misses;
     r.memory_accesses += w.memory_accesses;
     r.probe_memo_hits += w.probe_memo_hits;
     r.probe_memo_invalidations += w.probe_memo_invalidations;
+    r.probe_memo_conflict_evictions += w.probe_memo_conflict_evictions;
     r.path_scalar_loop_batches += w.path_scalar_loop_batches;
     r.path_phase2_batches += w.path_phase2_batches;
     r.path_phase2_memo_batches += w.path_phase2_memo_batches;
+    for (usize p = 0; p < core::kNumBatchPaths; ++p) {
+      if (w.controller_observations[p] == 0) continue;
+      r.controller_models[p].ns_per_packet +=
+          w.controller_models[p].ns_per_packet;
+      r.controller_models[p].ns_per_distinct_key +=
+          w.controller_models[p].ns_per_distinct_key;
+      ++fitted_workers[p];
+    }
     if (w.max_version == 0 && w.min_version == 0 && w.packets == 0) {
       continue;  // idle worker: no versions observed
     }
     min_v = first ? w.min_version : std::min(min_v, w.min_version);
     max_v = std::max(max_v, w.max_version);
     first = false;
+  }
+  // Coefficients are per-worker fits, not additive: average over the
+  // workers that actually produced one.
+  for (usize p = 0; p < core::kNumBatchPaths; ++p) {
+    if (fitted_workers[p] == 0) continue;
+    r.controller_models[p].ns_per_packet /=
+        static_cast<double>(fitted_workers[p]);
+    r.controller_models[p].ns_per_distinct_key /=
+        static_cast<double>(fitted_workers[p]);
   }
   r.cache_hit_rate =
       hits + misses == 0
@@ -138,13 +159,15 @@ core::ClassifierConfig scenario_config(const ruleset::RuleSet& rules,
   cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact lookups
   cfg.batch_mode = opts.batch_mode;
   cfg.batch_memo_persistent = opts.memo_persistent;
+  cfg.batch_memo_ways = opts.memo_ways;
   cfg.batch_path_policy = opts.path_policy;
   return cfg;
 }
 
 /// Drain the trace once through the engine and collect stats + oracle.
 void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
-                const ruleset::RuleSet& rules, const net::Trace& trace) {
+                WorkerBudget* budget, const ruleset::RuleSet& rules,
+                const net::Trace& trace) {
   r.rules = rules.size();
   r.trace_packets = trace.size();
   RuleProgramPublisher programs(scenario_config(rules, 0, opts));
@@ -154,7 +177,8 @@ void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
   Engine engine({.workers = opts.workers,
                  .batch_size = opts.batch_size,
                  .flow_cache_depth = opts.flow_cache_depth,
-                 .loop = false},
+                 .loop = false,
+                 .budget = budget},
                 programs);
   fill_engine_stats(r, engine.run(pool));
   verify_oracle(r, programs, trace);
@@ -162,7 +186,7 @@ void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
 
 // ---- scenario bodies ------------------------------------------------------
 
-ScenarioResult run_family(const ScenarioOptions& opts,
+ScenarioResult run_family(const ScenarioOptions& opts, WorkerBudget* budget,
                           const std::string& name,
                           const std::string& family) {
   ScenarioResult r;
@@ -177,11 +201,12 @@ ScenarioResult run_family(const ScenarioOptions& opts,
     net::Trace trace = ts.generate();
     return ScenarioWorkload{std::move(rules), std::move(trace)};
   });
-  run_finite(r, opts, w.rules, w.trace);
+  run_finite(r, opts, budget, w.rules, w.trace);
   return r;
 }
 
 ScenarioResult run_zipf_locality(const ScenarioOptions& opts,
+                                 WorkerBudget* budget,
                                  const std::string& name) {
   ScenarioResult r;
   const ScenarioWorkload w = obtain_workload(opts, name, [&] {
@@ -194,11 +219,12 @@ ScenarioResult run_zipf_locality(const ScenarioOptions& opts,
     net::Trace trace = ts.generate();
     return ScenarioWorkload{std::move(rules), std::move(trace)};
   });
-  run_finite(r, opts, w.rules, w.trace);
+  run_finite(r, opts, budget, w.rules, w.trace);
   return r;
 }
 
 ScenarioResult run_cache_thrash(const ScenarioOptions& opts,
+                                WorkerBudget* budget,
                                 const std::string& name) {
   ScenarioResult r;
   const ScenarioWorkload w = obtain_workload(opts, name, [&] {
@@ -213,11 +239,12 @@ ScenarioResult run_cache_thrash(const ScenarioOptions& opts,
         rules, scaled(60'000, opts.scale, 2048), flows, opts.seed ^ 0x7447);
     return ScenarioWorkload{std::move(rules), std::move(trace)};
   });
-  run_finite(r, opts, w.rules, w.trace);
+  run_finite(r, opts, budget, w.rules, w.trace);
   return r;
 }
 
 ScenarioResult run_trie_depth(const ScenarioOptions& opts,
+                              WorkerBudget* budget,
                               const std::string& name) {
   ScenarioResult r;
   const ScenarioWorkload w = obtain_workload(opts, name, [&] {
@@ -227,11 +254,12 @@ ScenarioResult run_trie_depth(const ScenarioOptions& opts,
         rules, scaled(60'000, opts.scale, 2048), opts.seed ^ 0xDEEF);
     return ScenarioWorkload{std::move(rules), std::move(trace)};
   });
-  run_finite(r, opts, w.rules, w.trace);
+  run_finite(r, opts, budget, w.rules, w.trace);
   return r;
 }
 
 ScenarioResult run_update_storm(const ScenarioOptions& opts,
+                                WorkerBudget* budget,
                                 const std::string& name) {
   ScenarioResult r;
   const ScenarioWorkload w = obtain_workload(opts, name, [&] {
@@ -267,7 +295,8 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts,
   Engine engine({.workers = opts.workers,
                  .batch_size = opts.batch_size,
                  .flow_cache_depth = opts.flow_cache_depth,
-                 .loop = true},
+                 .loop = true,
+                 .budget = budget},
                 programs);
   engine.start(pool);
   const auto t0 = std::chrono::steady_clock::now();
@@ -302,6 +331,7 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts,
 /// of times mid-trace without ever serving a stale verdict; the oracle
 /// check below would catch one).
 ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
+                                      WorkerBudget* budget,
                                       const std::string& name) {
   ScenarioResult r;
   const ScenarioWorkload w = obtain_workload(opts, name, [&] {
@@ -343,7 +373,8 @@ ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
   Engine engine({.workers = opts.workers,
                  .batch_size = opts.batch_size,
                  .flow_cache_depth = opts.flow_cache_depth,
-                 .loop = true},
+                 .loop = true,
+                 .budget = budget},
                 programs);
   engine.start(pool);
 
@@ -406,7 +437,23 @@ ScenarioRunner::ScenarioRunner(ScenarioOptions opts) : opts_(opts) {
   if (opts_.scale <= 0) {
     throw ConfigError("ScenarioRunner: scale must be > 0");
   }
+  // The shared engine-worker budget: every scenario this runner starts
+  // draws its worker threads from it, so concurrent scenarios can never
+  // hold more than max_workers threads in total. Auto (0) = the
+  // hardware thread count — parallelism without oversubscription.
+  usize capacity = opts_.max_workers;
+  if (capacity == 0) {
+    // Auto must never cut a single scenario below its requested width
+    // (that would make per-worker-partitioned metrics depend on the
+    // host's core count even in sequential runs); it only caps how many
+    // scenarios run at full width concurrently.
+    const usize hw = std::thread::hardware_concurrency();
+    capacity = std::max<usize>(hw, opts_.workers);
+  }
+  budget_ = std::make_unique<WorkerBudget>(std::max<usize>(capacity, 1));
 }
+
+ScenarioRunner::~ScenarioRunner() = default;
 
 const std::vector<ScenarioSpec>& ScenarioRunner::catalog() {
   static const std::vector<ScenarioSpec> kCatalog = {
@@ -450,15 +497,16 @@ ScenarioResult ScenarioRunner::run(const std::string& name) {
 
   ScenarioResult r;
   try {
-    if (name == "acl-like") r = run_family(opts_, name, "acl");
-    else if (name == "fw-like") r = run_family(opts_, name, "fw");
-    else if (name == "ipc-like") r = run_family(opts_, name, "ipc");
-    else if (name == "zipf-locality") r = run_zipf_locality(opts_, name);
-    else if (name == "cache-thrash") r = run_cache_thrash(opts_, name);
-    else if (name == "trie-depth") r = run_trie_depth(opts_, name);
-    else if (name == "update-storm") r = run_update_storm(opts_, name);
+    WorkerBudget* const b = budget_.get();
+    if (name == "acl-like") r = run_family(opts_, b, name, "acl");
+    else if (name == "fw-like") r = run_family(opts_, b, name, "fw");
+    else if (name == "ipc-like") r = run_family(opts_, b, name, "ipc");
+    else if (name == "zipf-locality") r = run_zipf_locality(opts_, b, name);
+    else if (name == "cache-thrash") r = run_cache_thrash(opts_, b, name);
+    else if (name == "trie-depth") r = run_trie_depth(opts_, b, name);
+    else if (name == "update-storm") r = run_update_storm(opts_, b, name);
     else if (name == "update-storm-multi") {
-      r = run_update_storm_multi(opts_, name);
+      r = run_update_storm_multi(opts_, b, name);
     }
   } catch (const std::exception& e) {
     r.error = e.what();
@@ -486,8 +534,13 @@ std::vector<ScenarioResult> ScenarioRunner::run_many(
   }
   usize pool = opts_.parallel;
   if (pool == 0) {
-    const usize hw = std::thread::hardware_concurrency();
-    pool = std::clamp<usize>(hw == 0 ? 1 : hw / 2, 1, 4);
+    // Auto-size from the worker budget: as many scenarios as can run at
+    // their full worker width simultaneously. The budget is the actual
+    // gate (engines block in acquire() when the pool over-claims), so
+    // this is purely the no-queueing sweet spot — not a second cap.
+    const usize per =
+        std::max<usize>(1, std::min(opts_.workers, budget_->capacity()));
+    pool = std::max<usize>(1, budget_->capacity() / per);
   }
   pool = std::min(pool, names.size());
   // A repeated name would race two writers on the same --save-workloads
@@ -555,8 +608,10 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   j.key("seed").value(u64{opts.seed});
   j.key("batch_mode").value(std::string(to_string(opts.batch_mode)));
   j.key("memo_persistent").value(opts.memo_persistent);
+  j.key("memo_ways").value(opts.memo_ways);
   j.key("path_policy").value(std::string(to_string(opts.path_policy)));
   j.key("parallel").value(opts.parallel);
+  j.key("max_workers").value(opts.max_workers);
   j.end_object();
   j.key("scenarios").begin_array();
   for (const ScenarioResult& r : results) {
@@ -580,10 +635,26 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
     j.key("memory_accesses").value(r.memory_accesses);
     j.key("probe_memo_hits").value(r.probe_memo_hits);
     j.key("probe_memo_invalidations").value(r.probe_memo_invalidations);
+    j.key("probe_memo_conflict_evictions")
+        .value(r.probe_memo_conflict_evictions);
     j.key("controller").begin_object();
     j.key("scalar_loop_batches").value(r.path_scalar_loop_batches);
     j.key("phase2_batches").value(r.path_phase2_batches);
     j.key("phase2_memo_batches").value(r.path_phase2_memo_batches);
+    j.key("cost_model").begin_object();
+    for (usize p = 0; p < core::kNumBatchPaths; ++p) {
+      const auto path = static_cast<core::BatchPath>(p);
+      std::string key = to_string(path);  // e.g. "scalar-loop"
+      for (char& c : key) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      j.key(key).begin_object();
+      j.key("ns_per_packet").value(r.controller_models[p].ns_per_packet);
+      j.key("ns_per_distinct_key")
+          .value(r.controller_models[p].ns_per_distinct_key);
+      j.end_object();
+    }
+    j.end_object();
     j.end_object();
     j.key("snapshot").begin_object();
     j.key("min_version").value(r.snapshot_min_version);

@@ -13,11 +13,17 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/path_controller.hpp"
 #include "net/packet_batch.hpp"
+
+namespace pclass::dataplane {
+class WorkerBudget;
+}
 
 namespace pclass::workload {
 
@@ -38,16 +44,26 @@ struct ScenarioOptions {
   /// Byte-identical workloads + this knob = the cross-batch hit-rate
   /// comparison CI uploads.
   bool memo_persistent = true;
+  /// Probe-memo associativity A/B: 2 (default) = two tagged ways per
+  /// set with LRU, 1 = the direct-mapped reference (--memo-ways).
+  u32 memo_ways = 2;
   /// Phase-2 execution-path policy. kAdaptive (default) lets each
-  /// worker's EWMA controller pick per batch; kForcePhase2 pins the
-  /// batch engine (+memo), making memo hit counts deterministic — what
-  /// the CI persistent-vs-per-batch A/B pins so the hit-rate gain
+  /// worker's cost-model controller pick per batch; kForcePhase2 pins
+  /// the batch engine (+memo), making memo hit counts deterministic —
+  /// what the CI persistent-vs-per-batch A/B pins so the hit-rate gain
   /// reflects the memo lifetime, not controller choices.
   core::PathPolicy path_policy = core::PathPolicy::kAdaptive;
   /// Scenarios run concurrently by run_all()/run_many() (results are
-  /// independent; report order stays catalog order). 0 = auto (half
-  /// the hardware threads, clamped to [1, 4]); 1 = sequential.
+  /// independent; report order stays catalog order). 0 = auto: as many
+  /// as the worker budget can serve at full width (max_workers /
+  /// workers-per-scenario); 1 = sequential.
   usize parallel = 0;
+  /// Capacity of the runner's shared dataplane::WorkerBudget: total
+  /// engine worker threads across *all* concurrently-running scenarios
+  /// (--max-workers). 0 = auto (the hardware thread count), so a
+  /// parallel catalog run can never oversubscribe the host with
+  /// scenarios x workers threads.
+  usize max_workers = 0;
   /// When non-empty, write each scenario's synthesized workload to
   /// DIR/<scenario>.rules.pcr1 + DIR/<scenario>.trace.pct1 (versioned
   /// binio formats, byte-stable across hosts).
@@ -82,11 +98,19 @@ struct ScenarioResult {
   /// Persistent-memo entry drops, summed across workers (initial binds
   /// plus one per snapshot swap a worker classified across).
   u64 probe_memo_invalidations = 0;
+  /// Memo replacements that evicted a live entry of another key, summed
+  /// across workers (the --memo-ways 1-vs-2 A/B observable).
+  u64 probe_memo_conflict_evictions = 0;
   /// Path-controller choices, summed across workers: batches served by
   /// the scalar loop / batch engine / batch engine + memo.
   u64 path_scalar_loop_batches = 0;
   u64 path_phase2_batches = 0;
   u64 path_phase2_memo_batches = 0;
+  /// The controller's fitted per-path cost model coefficients
+  /// (ns = ns_per_packet * packets + ns_per_distinct_key * distinct),
+  /// averaged over the workers that produced timed observations for the
+  /// path (all-zero under forced policies).
+  std::array<core::PathCostModel, core::kNumBatchPaths> controller_models{};
 
   // Snapshot consistency.
   u64 snapshot_min_version = 0;
@@ -120,6 +144,7 @@ struct ScenarioSpec {
 class ScenarioRunner {
  public:
   explicit ScenarioRunner(ScenarioOptions opts = {});
+  ~ScenarioRunner();
 
   /// The built-in catalog (stable order; >= 6 scenarios).
   [[nodiscard]] static const std::vector<ScenarioSpec>& catalog();
@@ -141,8 +166,15 @@ class ScenarioRunner {
 
   [[nodiscard]] const ScenarioOptions& options() const { return opts_; }
 
+  /// The shared worker budget every scenario's engine draws from
+  /// (capacity = resolved max_workers). Its peak_in_use() is the
+  /// high-water mark of concurrent engine worker threads across the
+  /// runner's lifetime — what the cap tests assert on.
+  [[nodiscard]] dataplane::WorkerBudget& budget() { return *budget_; }
+
  private:
   ScenarioOptions opts_;
+  std::unique_ptr<dataplane::WorkerBudget> budget_;
 };
 
 /// Emit the single JSON report CI archives (schema

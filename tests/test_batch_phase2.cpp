@@ -21,6 +21,7 @@
 #include "alg/batch_keys.hpp"
 #include "alg/multibit_trie.hpp"
 #include "baseline/linear_search.hpp"
+#include "common/error.hpp"
 #include "common/random.hpp"
 #include "core/classifier.hpp"
 #include "dataplane/rule_program.hpp"
@@ -180,6 +181,16 @@ INSTANTIATE_TEST_SUITE_P(
 
 // Adversarial trace shapes: depth-heavy and thrash-heavy key patterns
 // stress the MBT path cache and the adaptive gates respectively.
+TEST(BatchMemoConfig, InvalidWaysRejectedAtConfigTime) {
+  core::ClassifierConfig cfg;
+  cfg.batch_memo_ways = 3;
+  EXPECT_THROW(core::ConfigurableClassifier{cfg}, ConfigError);
+  core::ConfigurableClassifier clf;
+  EXPECT_THROW(clf.set_batch_memo_ways(0), ConfigError);
+  EXPECT_NO_THROW(clf.set_batch_memo_ways(1));
+  EXPECT_NO_THROW(clf.set_batch_memo_ways(2));
+}
+
 TEST(BatchPhase2, AdversarialTraces) {
   const ruleset::RuleSet rules = workload::synthesize(
       workload::RulesetProfile::acl(200, 99));

@@ -1,0 +1,285 @@
+// Seeded randomized differential harness for the whole batch hot path.
+//
+// Each iteration draws one configuration from the cross of
+//   {acl,fw,ipc} RulesetProfile draws x synthesized traces
+//   x batch sizes {1, 32, 256}
+//   x probe-memo {ways 1, ways 2} x {per-batch, persistent} x {off}
+//   x memo slot counts {16, 64, 512} (tiny memos force eviction churn)
+//   x all PathPolicy pins (adaptive / phase2 / scalar-loop)
+// and drives the trace through classify_batch() with ONE long-lived
+// BatchScratch (the dataplane-worker lifetime: the persistent memo and
+// the controller survive across batches). Every packet is checked three
+// ways:
+//
+//   * verdict  == baseline::LinearSearch over the installed rules
+//                 (semantic ground truth);
+//   * verdict  == the scalar classify() path (batch-engine parity);
+//   * memory_accesses and crossproduct_probes == the scalar path's
+//                 (the cycle-charging contract: the memo and the batch
+//                 engine must never change modeled accesses).
+//
+// Half the iterations interleave random update-path mutations
+// (remove / re-add / modify) at batch boundaries, then keep classifying
+// with the same scratch: the persistent memo's epoch invalidation is
+// what keeps the next batch's verdicts correct, so any stale entry
+// served under the 2-way geometry shows up as a verdict or access
+// mismatch against the freshly-rebuilt oracle.
+//
+// Determinism: the default run uses a fixed seed (what CI's main job
+// runs); PCLASS_FUZZ_SEED / PCLASS_FUZZ_ITERS override it for the
+// random-seed smoke (CI echoes the seed into the log so any failure is
+// reproducible by exporting the same value).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/linear_search.hpp"
+#include "common/random.hpp"
+#include "core/classifier.hpp"
+#include "workload/profile.hpp"
+#include "workload/ruleset_synth.hpp"
+#include "workload/trace_synth.hpp"
+
+using namespace pclass;
+
+namespace {
+
+constexpr u64 kDefaultSeed = 0xC1A551F1;
+constexpr usize kDefaultIters = 200;
+
+u64 env_u64(const char* name, u64 fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 0);
+}
+
+/// One drawn configuration, loggable for reproduction.
+struct FuzzConfig {
+  std::string family;
+  usize rules_n = 0;
+  usize packets = 0;
+  bool zipf_trace = false;
+  usize batch = 0;
+  bool memo_on = true;
+  u32 memo_ways = 2;
+  u32 memo_slots = 512;
+  bool memo_persistent = true;
+  core::PathPolicy policy = core::PathPolicy::kAdaptive;
+  bool updates = false;
+  u64 seed = 0;
+
+  [[nodiscard]] std::string describe() const {
+    return "family=" + family + " rules=" + std::to_string(rules_n) +
+           " packets=" + std::to_string(packets) +
+           (zipf_trace ? " trace=zipf" : " trace=standard") +
+           " batch=" + std::to_string(batch) +
+           " memo=" + (memo_on ? "on" : "off") +
+           " ways=" + std::to_string(memo_ways) +
+           " slots=" + std::to_string(memo_slots) +
+           (memo_persistent ? " persistent" : " per-batch") +
+           " policy=" + std::string(to_string(policy)) +
+           (updates ? " updates=yes" : " updates=no") +
+           " seed=" + std::to_string(seed);
+  }
+};
+
+FuzzConfig draw_config(Rng& rng, u64 seed) {
+  FuzzConfig c;
+  c.seed = seed;
+  c.family = std::array{"acl", "fw", "ipc"}[rng.below(3)];
+  c.rules_n = 40 + static_cast<usize>(rng.below(90));
+  c.packets = 192 + static_cast<usize>(rng.below(192));
+  c.zipf_trace = rng.below(2) == 0;
+  c.batch = std::array<usize, 3>{1, 32, 256}[rng.below(3)];
+  c.memo_on = rng.below(8) != 0;  // mostly on — it is the system under test
+  c.memo_ways = rng.below(2) == 0 ? 1 : 2;
+  c.memo_slots = std::array<u32, 3>{16, 64, 512}[rng.below(3)];
+  c.memo_persistent = rng.below(2) == 0;
+  c.policy = std::array{core::PathPolicy::kAdaptive,
+                        core::PathPolicy::kForcePhase2,
+                        core::PathPolicy::kForceScalarLoop}[rng.below(3)];
+  c.updates = rng.below(2) == 0;
+  return c;
+}
+
+/// Rebuild the linear-search oracle from what the classifier actually
+/// has installed (priorities verbatim — no back-fill).
+std::unique_ptr<baseline::LinearSearch> make_oracle(
+    const core::ConfigurableClassifier& clf) {
+  ruleset::RuleSet rs("oracle");
+  for (const ruleset::Rule& r : clf.installed_rules()) {
+    rs.add_verbatim(r);
+  }
+  return std::make_unique<baseline::LinearSearch>(rs);
+}
+
+/// Apply 1..4 random update-path mutations: remove an installed rule,
+/// re-add a previously removed one, or rewrite an action in place.
+/// Every mutation bumps the device epoch, so the persistent memo must
+/// drop its entries before the next batch.
+void mutate(core::ConfigurableClassifier& clf, Rng& rng,
+            std::vector<ruleset::Rule>& removed) {
+  const usize kMutations = 1 + rng.below(4);
+  for (usize m = 0; m < kMutations; ++m) {
+    const auto installed = clf.installed_rules();
+    const u64 kind = rng.below(3);
+    if (kind == 0 && installed.size() > 8) {
+      const ruleset::Rule victim = installed[rng.below(installed.size())];
+      clf.remove_rule(victim.id);
+      removed.push_back(victim);
+    } else if (kind == 1 && !removed.empty()) {
+      const usize k = rng.below(removed.size());
+      clf.add_rule(removed[k]);
+      removed.erase(removed.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (!installed.empty()) {
+      const ruleset::Rule& r = installed[rng.below(installed.size())];
+      clf.modify_rule(r.id,
+                      ruleset::Action{static_cast<u32>(rng.below(0xFFFF))});
+    }
+  }
+}
+
+/// Run one drawn configuration end to end; every EXPECT carries the
+/// config description so a failure is reproducible from the log alone.
+void run_config(const FuzzConfig& c) {
+  Rng rng(c.seed ^ 0x5EED5EEDULL);
+
+  workload::RulesetProfile rp =
+      workload::RulesetProfile::by_family(c.family, c.rules_n, c.seed);
+  ruleset::RuleSet rules = workload::synthesize(rp);
+  workload::TraceProfile tp =
+      c.zipf_trace ? workload::TraceProfile::zipf_heavy(c.packets, c.seed ^ 1)
+                   : workload::TraceProfile::standard(c.packets, c.seed ^ 1);
+  net::Trace trace;
+  {
+    workload::TraceSynthesizer ts(rules, tp);
+    trace = ts.generate();
+  }
+
+  core::ClassifierConfig cfg =
+      core::ClassifierConfig::for_scale(rules.size() + 64);
+  cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact => oracle
+  cfg.batch_mode = core::BatchMode::kPhase2;
+  cfg.batch_probe_memo = c.memo_on;
+  cfg.batch_memo_slots = c.memo_slots;
+  cfg.batch_memo_ways = c.memo_ways;
+  cfg.batch_memo_persistent = c.memo_persistent;
+  cfg.batch_path_policy = c.policy;
+  core::ConfigurableClassifier clf(cfg);
+  clf.add_rules(rules);
+
+  std::unique_ptr<baseline::LinearSearch> oracle = make_oracle(clf);
+  std::vector<ruleset::Rule> removed;
+
+  // One scratch for the whole trace: the dataplane-worker lifetime the
+  // persistent memo and controller are designed around.
+  core::BatchScratch scratch;
+  std::vector<net::FiveTuple> in;
+  std::vector<core::ClassifyResult> out;
+
+  usize off = 0;
+  usize checked = 0;
+  while (off < trace.size()) {
+    const usize len = std::min(c.batch, trace.size() - off);
+    in.clear();
+    for (usize k = 0; k < len; ++k) in.push_back(trace[off + k].header);
+    out.assign(len, {});
+    clf.classify_batch(in, out, scratch);
+
+    for (usize k = 0; k < len; ++k) {
+      // Batch-engine parity: verdict, modeled accesses and probe count
+      // must equal the scalar path's, memo or not.
+      const core::ClassifyResult ref = clf.classify(in[k]);
+      const bool batch_match = out[k].match.has_value();
+      ASSERT_EQ(batch_match, ref.match.has_value())
+          << c.describe() << " pkt " << off + k;
+      if (batch_match) {
+        ASSERT_EQ(out[k].match->rule, ref.match->rule)
+            << c.describe() << " pkt " << off + k;
+        ASSERT_EQ(out[k].match->priority, ref.match->priority)
+            << c.describe() << " pkt " << off + k;
+      }
+      ASSERT_EQ(out[k].memory_accesses, ref.memory_accesses)
+          << c.describe() << " pkt " << off + k
+          << " (a memoized probe charged the wrong replaced-read count "
+             "— stale or mis-tagged memo entry)";
+      ASSERT_EQ(out[k].crossproduct_probes, ref.crossproduct_probes)
+          << c.describe() << " pkt " << off + k;
+
+      // Semantic ground truth.
+      const ruleset::Rule* want = oracle->classify(in[k], nullptr);
+      if (want == nullptr) {
+        ASSERT_FALSE(batch_match) << c.describe() << " pkt " << off + k;
+      } else {
+        ASSERT_TRUE(batch_match) << c.describe() << " pkt " << off + k;
+        ASSERT_EQ(out[k].match->rule, want->id)
+            << c.describe() << " pkt " << off + k;
+      }
+      ++checked;
+    }
+    off += len;
+
+    // Epoch-invalidation fuzz: mutate at some batch boundaries, then
+    // keep going with the same scratch. If a stale memo entry survived
+    // the epoch bump, the next batch diverges from the rebuilt oracle.
+    if (c.updates && off < trace.size() && rng.below(4) == 0) {
+      mutate(clf, rng, removed);
+      oracle = make_oracle(clf);
+    }
+  }
+  ASSERT_EQ(checked, trace.size()) << c.describe();
+}
+
+}  // namespace
+
+TEST(DifferentialFuzz, RandomConfigsAgreeWithLinearSearch) {
+  const u64 seed = env_u64("PCLASS_FUZZ_SEED", kDefaultSeed);
+  const usize iters = static_cast<usize>(
+      env_u64("PCLASS_FUZZ_ITERS", kDefaultIters));
+  std::cerr << "[fuzz] seed=" << seed << " iters=" << iters
+            << " (override via PCLASS_FUZZ_SEED / PCLASS_FUZZ_ITERS)\n";
+
+  Rng meta(seed);
+  for (usize i = 0; i < iters; ++i) {
+    const u64 cseed = meta.next();
+    Rng rng(cseed);
+    const FuzzConfig c = draw_config(rng, cseed);
+    SCOPED_TRACE("iter " + std::to_string(i) + ": " + c.describe());
+    run_config(c);
+    if (::testing::Test::HasFatalFailure()) {
+      std::cerr << "[fuzz] FAILED at iter " << i << ": " << c.describe()
+                << "\n";
+      return;
+    }
+  }
+}
+
+// A focused stale-serve hunt: tiny memo, maximal collision pressure,
+// updates every batch — the geometry where a broken 2-way epoch check
+// would actually serve a stale verdict.
+TEST(DifferentialFuzz, UpdateStormNeverServesStaleUnderTinyMemo) {
+  const u64 seed = env_u64("PCLASS_FUZZ_SEED", kDefaultSeed) ^ 0xA11CE;
+  Rng meta(seed);
+  for (const u32 ways : {1u, 2u}) {
+    const u64 cseed = meta.next();
+    FuzzConfig c;
+    c.seed = cseed;
+    c.family = "fw";  // wildcard-heavy: repeated combinations, hot memo
+    c.rules_n = 80;
+    c.packets = 512;
+    c.zipf_trace = true;
+    c.batch = 32;
+    c.memo_on = true;
+    c.memo_ways = ways;
+    c.memo_slots = 16;  // minimum geometry: every set under pressure
+    c.memo_persistent = true;
+    c.policy = core::PathPolicy::kForcePhase2;  // memo always engaged
+    c.updates = true;
+    SCOPED_TRACE(c.describe());
+    run_config(c);
+  }
+}

@@ -1,0 +1,213 @@
+// PathController v2: the size-normalized two-parameter cost model
+// (ns = a*packets + b*distinct_keys per path). These tests drive the
+// controller with synthetic, noise-free batch costs — no host timing —
+// so convergence and the per-size argmin are asserted deterministically.
+#include <gtest/gtest.h>
+
+#include "core/path_controller.hpp"
+
+using namespace pclass;
+using core::BatchPath;
+using core::PathController;
+
+namespace {
+
+// True per-path cost surfaces used throughout: ns(n, d) = a*n + b*d.
+struct Surface {
+  double a;
+  double b;
+  [[nodiscard]] double at(usize n, usize d) const {
+    return a * static_cast<double>(n) + b * static_cast<double>(d);
+  }
+};
+
+// A batch shape: n packets, d distinct.
+struct Shape {
+  usize n;
+  usize d;
+};
+
+/// Run the controller over \p shapes (cycled) for \p decisions rounds,
+/// feeding the chosen path its exact synthetic cost.
+void train(PathController& c, const std::array<Surface, 3>& cost,
+           const std::vector<Shape>& shapes, usize decisions,
+           bool memo_eligible = true) {
+  for (usize i = 0; i < decisions; ++i) {
+    const Shape s = shapes[i % shapes.size()];
+    const BatchPath p = c.choose(memo_eligible, s.n, s.d);
+    c.observe(p, cost[static_cast<usize>(p)].at(s.n, s.d), s.n, s.d);
+  }
+}
+
+[[nodiscard]] BatchPath true_argmin(const std::array<Surface, 3>& cost,
+                                    usize n, usize d) {
+  usize best = 0;
+  for (usize p = 1; p < 3; ++p) {
+    if (cost[p].at(n, d) < cost[best].at(n, d)) best = p;
+  }
+  return static_cast<BatchPath>(best);
+}
+
+}  // namespace
+
+TEST(PathController, ConvergesToArgminOnMixedSizes) {
+  // memo is globally cheapest here at every shape; the controller must
+  // settle on it within a small number of batches despite the mixed
+  // batch sizes. Non-explore decisions are checked from decision 16 on
+  // (warmup = 2 per arm, a few fitting rounds).
+  const std::array<Surface, 3> cost = {
+      Surface{120.0, 0.0},   // scalar loop
+      Surface{20.0, 60.0},   // phase2
+      Surface{20.0, 30.0},   // phase2+memo
+  };
+  const std::vector<Shape> shapes = {{2, 2}, {32, 8}, {256, 40}, {64, 64}};
+  PathController c;
+  train(c, cost, shapes, 16);
+  usize right = 0, total = 0;
+  for (usize i = 0; i < 120; ++i) {
+    const Shape s = shapes[i % shapes.size()];
+    const BatchPath p = c.choose(true, s.n, s.d);
+    c.observe(p, cost[static_cast<usize>(p)].at(s.n, s.d), s.n, s.d);
+    ++total;
+    if (p == true_argmin(cost, s.n, s.d)) ++right;
+  }
+  // Exploration (1 in 24) is the only deliberate deviation.
+  EXPECT_GE(right, total - total / PathController::kExplorePeriod - 2);
+}
+
+TEST(PathController, PicksDifferentArgminPerBatchShape) {
+  // The v2 point: one fitted model serves *every* batch shape. Scalar
+  // wins all-distinct remnant batches (no sharing to amortize), the
+  // batch engine wins big high-sharing batches — the controller must
+  // pick per shape, which a single flat ns/packet estimate cannot do.
+  const std::array<Surface, 3> cost = {
+      Surface{5.0, 0.0},   // scalar: 5n
+      Surface{2.0, 4.0},   // phase2: 2n + 4d
+      Surface{2.0, 5.0},   // phase2+memo: slightly worse here
+  };
+  const Shape small_distinct{4, 4};    // scalar 20 < phase2 24
+  const Shape big_shared{256, 32};     // phase2 640 < scalar 1280
+  ASSERT_EQ(true_argmin(cost, small_distinct.n, small_distinct.d),
+            BatchPath::kScalarLoop);
+  ASSERT_EQ(true_argmin(cost, big_shared.n, big_shared.d),
+            BatchPath::kPhase2);
+
+  PathController c;
+  train(c, cost, {small_distinct, big_shared, {32, 8}}, 60);
+  // Probe at a decision index that is not an exploration slot.
+  const BatchPath at_small =
+      c.choose(true, small_distinct.n, small_distinct.d);
+  c.observe(at_small, cost[static_cast<usize>(at_small)].at(4, 4), 4, 4);
+  const BatchPath at_big = c.choose(true, big_shared.n, big_shared.d);
+  EXPECT_EQ(at_small, BatchPath::kScalarLoop);
+  EXPECT_EQ(at_big, BatchPath::kPhase2);
+}
+
+TEST(PathController, SmallCacheMissBatchesDoNotPoisonLargeBatchEstimate) {
+  // The PR 4 failure mode, reproduced: the v1 controller kept one flat
+  // EWMA of ns/packet per path. On the dataplane, the flow cache
+  // shrinks most batches to tiny all-distinct remnants, where the batch
+  // engine's per-packet cost is high (fixed per-batch work over few
+  // packets, nothing shared). Feeding 90% such batches drove v1's
+  // phase2 estimate far above scalar's, so the occasional full batch —
+  // where phase2 actually wins big — was misrouted to scalar.
+  //
+  // First show the poisoning is real for a flat ns/packet model, then
+  // that v2's (packets, distinct) fit routes both shapes correctly.
+  const std::array<Surface, 3> cost = {
+      Surface{10.0, 0.0},   // scalar: 10 ns/pkt at every size
+      Surface{1.0, 20.0},   // phase2: tiny replay cost, real per-key cost
+      Surface{1.0, 21.0},
+  };
+  const Shape tiny{2, 2};       // phase2 = 42 ns vs scalar 20 ns
+  const Shape full{256, 16};    // phase2 = 576 ns vs scalar 2560 ns
+
+  // v1-style flat estimate, trained on the 90/10 mix the dataplane
+  // produces: phase2's ns/packet EWMA is dominated by the tiny batches.
+  double v1_scalar = 0, v1_phase2 = 0;
+  bool first_s = true, first_p = true;
+  for (usize i = 0; i < 200; ++i) {
+    const Shape s = i % 10 == 9 ? full : tiny;
+    const double alpha = 0.25;  // v1's EWMA weight
+    const double scalar_pp = cost[0].at(s.n, s.d) / static_cast<double>(s.n);
+    const double phase2_pp = cost[1].at(s.n, s.d) / static_cast<double>(s.n);
+    v1_scalar = first_s ? scalar_pp
+                        : alpha * scalar_pp + (1 - alpha) * v1_scalar;
+    v1_phase2 = first_p ? phase2_pp
+                        : alpha * phase2_pp + (1 - alpha) * v1_phase2;
+    first_s = first_p = false;
+  }
+  // The poisoned flat model prefers scalar *everywhere* — including the
+  // full batch where phase2 is 4.4x cheaper.
+  EXPECT_LT(v1_scalar, v1_phase2);
+
+  // v2 on a tiny-dominated mix (memo arm pinned off so scalar/phase2
+  // are the only arms; the mix length is coprime with kExplorePeriod so
+  // exploration eventually lands on a full batch — exactly how a live
+  // worker's occasional full batch re-teaches the fit).
+  PathController c;
+  std::vector<Shape> mix;
+  for (usize i = 0; i < 7; ++i) mix.push_back(i == 6 ? full : tiny);
+  train(c, cost, mix, 200, /*memo_eligible=*/false);
+  EXPECT_EQ(c.choose(false, full.n, full.d), BatchPath::kPhase2)
+      << "full-batch decision was poisoned by the tiny-batch majority";
+  c.observe(BatchPath::kPhase2, cost[1].at(full.n, full.d), full.n, full.d);
+  EXPECT_EQ(c.choose(false, tiny.n, tiny.d), BatchPath::kScalarLoop);
+}
+
+TEST(PathController, RecoversCoefficientsFromExactObservations) {
+  const Surface truth{3.0, 7.0};
+  PathController c;
+  // Varied (n, d) keeps the normal equations well-conditioned.
+  const std::vector<Shape> shapes = {{8, 2}, {32, 32}, {64, 5}, {128, 90},
+                                     {256, 17}, {16, 16}, {200, 120}};
+  for (usize i = 0; i < 64; ++i) {
+    const Shape s = shapes[i % shapes.size()];
+    c.observe(BatchPath::kPhase2, truth.at(s.n, s.d), s.n, s.d);
+  }
+  const core::PathCostModel m = c.cost_model(BatchPath::kPhase2);
+  EXPECT_NEAR(m.ns_per_packet, truth.a, 1e-6);
+  EXPECT_NEAR(m.ns_per_distinct_key, truth.b, 1e-6);
+  EXPECT_NEAR(c.predict_ns(BatchPath::kPhase2, 100, 10),
+              truth.at(100, 10), 1e-3);
+}
+
+TEST(PathController, CollinearFeaturesFallBackToPerPacketFit) {
+  // All-distinct traffic: d == n on every batch, the 2x2 system is
+  // singular. The fit must degrade to the v1 one-slope model (a+b
+  // collapsed into ns/packet) instead of producing garbage.
+  PathController c;
+  for (usize i = 0; i < 32; ++i) {
+    const usize n = 8 + (i % 5) * 16;
+    c.observe(BatchPath::kScalarLoop, 12.0 * static_cast<double>(n), n, n);
+  }
+  const core::PathCostModel m = c.cost_model(BatchPath::kScalarLoop);
+  EXPECT_NEAR(m.ns_per_packet, 12.0, 1e-6);
+  EXPECT_EQ(m.ns_per_distinct_key, 0.0);
+  EXPECT_NEAR(c.predict_ns(BatchPath::kScalarLoop, 64, 64), 768.0, 1e-3);
+}
+
+TEST(PathController, ForcedBatchesCountWithoutFeedingTheFit) {
+  PathController c;
+  c.observe(BatchPath::kPhase2Memo, -1.0, 32, 8);  // forced: no clock read
+  EXPECT_EQ(c.batches(BatchPath::kPhase2Memo), 1u);
+  EXPECT_EQ(c.observations(BatchPath::kPhase2Memo), 0u);
+  const core::PathCostModel m = c.cost_model(BatchPath::kPhase2Memo);
+  EXPECT_EQ(m.ns_per_packet, 0.0);
+  EXPECT_EQ(m.ns_per_distinct_key, 0.0);
+}
+
+TEST(PathController, MemoIneligibilityExcludesTheMemoArm) {
+  const std::array<Surface, 3> cost = {
+      Surface{50.0, 0.0},
+      Surface{20.0, 10.0},
+      Surface{1.0, 1.0},  // would win if eligible
+  };
+  PathController c;
+  train(c, cost, {{32, 8}, {128, 16}}, 80, /*memo_eligible=*/false);
+  for (usize i = 0; i < 40; ++i) {
+    const BatchPath p = c.choose(false, 64, 12);
+    EXPECT_NE(p, BatchPath::kPhase2Memo);
+    c.observe(p, cost[static_cast<usize>(p)].at(64, 12), 64, 12);
+  }
+}

@@ -12,6 +12,7 @@
 #include <variant>
 
 #include "common/error.hpp"
+#include "dataplane/engine.hpp"
 #include "workload/binio.hpp"
 #include "workload/json_writer.hpp"
 #include "workload/profile.hpp"
@@ -382,6 +383,77 @@ TEST(Scenario, RunManyParallelMatchesSequentialOrder) {
     EXPECT_EQ(a[i].matched, b[i].matched);
   }
   EXPECT_THROW((void)par.run_many({"acl-like", "nope"}), ConfigError);
+}
+
+TEST(Scenario, WorkerBudgetCapsConcurrentEngineWorkers) {
+  // 4 scenarios x 2 workers each on a 4-thread pool would hold 8 engine
+  // worker threads at once; a --max-workers 3 budget must keep the
+  // high-water mark of concurrently-granted workers at <= 3, while every
+  // scenario still runs (engines block in acquire() until slots free).
+  const std::vector<std::string> names = {"acl-like", "cache-thrash",
+                                          "zipf-locality", "fw-like"};
+  ScenarioRunner runner({.workers = 2, .scale = 0.04, .seed = 7,
+                         .parallel = 4, .max_workers = 3});
+  EXPECT_EQ(runner.budget().capacity(), 3u);
+  const auto results = runner.run_many(names);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.name << ": " << r.error;
+    EXPECT_GT(r.packets_processed, 0u) << r.name;
+  }
+  EXPECT_GT(runner.budget().peak_in_use(), 0u);
+  EXPECT_LE(runner.budget().peak_in_use(), 3u);
+  EXPECT_EQ(runner.budget().in_use(), 0u);  // every grant returned
+}
+
+TEST(Scenario, CappedParallelReportsByteIdenticalToSequential) {
+  // Under a pinned path (no host-timing-dependent controller choices)
+  // and one worker per scenario (deterministic pool partitioning), a
+  // budget-capped parallel run must reproduce the sequential run's
+  // report byte for byte once the wall-clock-only fields are zeroed.
+  const std::vector<std::string> names = {"acl-like", "fw-like",
+                                          "zipf-locality", "cache-thrash"};
+  const ScenarioOptions base{.workers = 1, .scale = 0.04, .seed = 13,
+                             .path_policy = core::PathPolicy::kForcePhase2,
+                             .max_workers = 2};
+  ScenarioOptions seq_opts = base;
+  seq_opts.parallel = 1;
+  ScenarioOptions par_opts = base;
+  par_opts.parallel = 4;
+  ScenarioRunner seq(seq_opts);
+  ScenarioRunner par(par_opts);
+  auto a = seq.run_many(names);
+  auto b = par.run_many(names);
+  EXPECT_LE(par.budget().peak_in_use(), 2u);
+  auto strip_wall_clock = [](std::vector<ScenarioResult>& rs) {
+    for (auto& r : rs) {
+      r.wall_seconds = 0;
+      r.mpps = 0;
+      r.updates_per_sec = 0;
+    }
+  };
+  strip_wall_clock(a);
+  strip_wall_clock(b);
+  std::ostringstream ja, jb;
+  // Same options header for both legs: the comparison is about the
+  // measured scenarios, not the parallelism knob that produced them.
+  write_json_report(ja, seq_opts, a);
+  write_json_report(jb, seq_opts, b);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(Scenario, RunManyAutoPoolDerivesFromBudget) {
+  // The old auto-size was a magic clamp to [1, 4] regardless of
+  // --workers; it now derives from the budget, so a cap equal to one
+  // scenario's width serializes the catalog (pool = 1) without any
+  // second knob. Observable: peak concurrent workers == the cap even
+  // with parallel=0 (auto) and multiple scenarios.
+  ScenarioRunner runner({.workers = 2, .scale = 0.04, .seed = 9,
+                         .parallel = 0, .max_workers = 2});
+  const auto results = runner.run_many({"acl-like", "cache-thrash"});
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.name << ": " << r.error;
+  }
+  EXPECT_LE(runner.budget().peak_in_use(), 2u);
 }
 
 TEST(Scenario, CacheThrashDefeatsCacheAndZipfFeedsIt) {

@@ -7,7 +7,7 @@
 ///   pclass_classify <rules_file> <trace_file> [--alg mbt|bst]
 ///                   [--mode first|cross] [--verify]
 ///                   [--batch-mode scalar|phase2]
-///                   [--memo persistent|per-batch|off]
+///                   [--memo persistent|per-batch|off] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--workers N] [--batch B] [--cache DEPTH]
 ///
@@ -23,9 +23,10 @@
 ///
 /// --memo controls the combination-probe memo: persistent (default,
 /// snapshot-keyed, survives batch boundaries), per-batch (the PR-3
-/// reset, the A/B reference) or off. --path-policy pins the phase-2
-/// execution path instead of letting the per-worker EWMA controller
-/// pick it per batch.
+/// reset, the A/B reference) or off; --memo-ways its associativity
+/// (2 = set-associative default, 1 = direct-mapped A/B reference).
+/// --path-policy pins the phase-2 execution path instead of letting
+/// the per-worker cost-model controller pick it per batch.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -50,7 +51,7 @@ int usage() {
   std::cerr << "usage: pclass_classify <rules_file> <trace_file> "
                "[--alg mbt|bst] [--mode first|cross] [--verify]\n"
                "                       [--batch-mode scalar|phase2] "
-               "[--memo persistent|per-batch|off]\n"
+               "[--memo persistent|per-batch|off] [--memo-ways 1|2]\n"
                "                       [--path-policy "
                "adaptive|phase2|scalar-loop] "
                "[--workers N [--batch B] [--cache DEPTH]]\n"
@@ -183,6 +184,7 @@ int main(int argc, char** argv) {
   core::PathPolicy path_policy = core::PathPolicy::kAdaptive;
   bool probe_memo = true;
   bool memo_persistent = true;
+  u32 memo_ways = 2;
   bool verify = false;
   usize workers = 0;  // 0 = classic single-threaded loop
   usize batch = net::kDefaultBatchCapacity;
@@ -231,6 +233,9 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (flag == "--memo-ways" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || (n != 1 && n != 2)) return usage();
+      memo_ways = static_cast<u32>(n);
     } else if (flag == "--path-policy" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "adaptive") path_policy = core::PathPolicy::kAdaptive;
@@ -264,6 +269,7 @@ int main(int argc, char** argv) {
     cfg.batch_mode = batch_mode;
     cfg.batch_probe_memo = probe_memo;
     cfg.batch_memo_persistent = memo_persistent;
+    cfg.batch_memo_ways = memo_ways;
     cfg.batch_path_policy = path_policy;
 
     if (workers > 0) {

@@ -10,8 +10,9 @@
 ///   pclass_scenario [--list] [--scenario NAME]... [--smoke]
 ///                   [--workers N] [--cache-depth N] [--seed N]
 ///                   [--scale F] [--out FILE] [--parallel N]
+///                   [--max-workers N]
 ///                   [--batch-mode scalar|phase2]
-///                   [--memo persistent|per-batch]
+///                   [--memo persistent|per-batch] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--save-workloads DIR] [--load-workloads DIR]
 ///
@@ -20,7 +21,12 @@
 ///
 /// The catalog runs on a small thread pool (scenarios are independent;
 /// the report keeps catalog order) — --parallel 1 restores sequential
-/// runs, --parallel N sets the pool size, default is auto.
+/// runs, --parallel N sets the pool size, default is auto. Concurrent
+/// scenarios draw engine worker threads from one shared WorkerBudget
+/// capped at --max-workers (default: the hardware thread count), so a
+/// parallel run never oversubscribes the host with scenarios x workers
+/// threads. --memo-ways selects the probe memo's associativity (2 =
+/// set-associative default, 1 = the direct-mapped A/B reference).
 ///
 /// --save-workloads writes each scenario's synthesized ruleset/trace as
 /// versioned PCR1/PCT1 binaries; --load-workloads replays them instead
@@ -43,9 +49,9 @@ namespace {
 int usage() {
   std::cerr << "usage: pclass_scenario [--list] [--scenario NAME]... "
                "[--smoke] [--workers N] [--cache-depth N] [--seed N] "
-               "[--scale F] [--out FILE] [--parallel N] "
+               "[--scale F] [--out FILE] [--parallel N] [--max-workers N] "
                "[--batch-mode scalar|phase2] "
-               "[--memo persistent|per-batch] "
+               "[--memo persistent|per-batch] [--memo-ways 1|2] "
                "[--path-policy adaptive|phase2|scalar-loop] "
                "[--save-workloads DIR] [--load-workloads DIR]\n";
   return 2;
@@ -96,6 +102,9 @@ int main(int argc, char** argv) {
       if (v == "persistent") opts.memo_persistent = true;
       else if (v == "per-batch") opts.memo_persistent = false;
       else return usage();
+    } else if (flag == "--memo-ways" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || (n != 1 && n != 2)) return usage();
+      opts.memo_ways = static_cast<u32>(n);
     } else if (flag == "--path-policy" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "adaptive") opts.path_policy = core::PathPolicy::kAdaptive;
@@ -108,6 +117,10 @@ int main(int argc, char** argv) {
     } else if (flag == "--parallel" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || n > 64) return usage();
       opts.parallel = static_cast<usize>(n);
+    } else if (flag == "--max-workers" && i + 1 < argc) {
+      // 0 = auto (documented): the runner sizes the budget itself.
+      if (!parse_count(argv[++i], n) || n > 1024) return usage();
+      opts.max_workers = static_cast<usize>(n);
     } else if (flag == "--save-workloads" && i + 1 < argc) {
       opts.save_workloads_dir = argv[++i];
     } else if (flag == "--load-workloads" && i + 1 < argc) {
@@ -140,7 +153,8 @@ int main(int argc, char** argv) {
                 << r.oracle_checked;
       if (r.probe_memo_hits > 0) {
         std::cerr << ", memo " << r.probe_memo_hits << " (inval "
-                  << r.probe_memo_invalidations << ")";
+                  << r.probe_memo_invalidations << ", confl "
+                  << r.probe_memo_conflict_evictions << ")";
       }
       if (r.updates_applied > 0) {
         std::cerr << ", " << r.updates_applied << " updates";
