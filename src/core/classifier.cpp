@@ -558,6 +558,8 @@ void ConfigurableClassifier::classify_batch(
     for (usize i = 0; i < in.size(); ++i) {
       out[i] = classify(in[i]);
     }
+    scratch.last_batch_path = BatchPath::kScalarLoop;
+    scratch.last_batch_distinct = 0;
     return;
   }
 
@@ -615,6 +617,8 @@ void ConfigurableClassifier::classify_batch(
              .count();
   }
   scratch.controller.observe(path, ns, in.size(), distinct);
+  scratch.last_batch_path = path;
+  scratch.last_batch_distinct = adaptive ? distinct : 0;
 }
 
 namespace {

@@ -164,6 +164,14 @@ struct BatchScratch {
   /// fingerprints, sorted per batch; reused so the count allocates
   /// nothing in steady state).
   std::vector<u64> distinct_fp;
+
+  /// Telemetry taps, written by every classify_batch() call: the
+  /// execution path that served the last batch and the distinct-header
+  /// count the controller consumed for it (0 when the count was
+  /// skipped — forced policies and the scalar mode never pay the
+  /// fingerprint sort, and telemetry must not reintroduce it).
+  BatchPath last_batch_path = BatchPath::kScalarLoop;
+  usize last_batch_distinct = 0;
 };
 
 /// The configurable classification device plus its controller shadow.

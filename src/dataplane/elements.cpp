@@ -75,6 +75,9 @@ void Parser::push_batch(net::PacketBatch& batch) {
       ++errors_;
     }
   }
+  if (tel_ != nullptr) {
+    telemetry::counter_store(tel_->live.parse_errors, errors_);
+  }
   forward(batch);
 }
 
@@ -103,15 +106,23 @@ void FlowCacheElement::push_batch(net::PacketBatch& batch) {
       m.action_token = e.action;
     }
   }
+  if (tel_ != nullptr) {
+    telemetry::counter_store(tel_->live.cache_hits, cache_.stats().hits);
+    telemetry::counter_store(tel_->live.cache_misses, cache_.stats().misses);
+  }
   forward(batch);
 }
 
 // ---- ClassifierElement ----------------------------------------------------
 
 void ClassifierElement::push_batch(net::PacketBatch& batch) {
+  // Clock reads only when telemetry is attached: the off configuration
+  // (the overhead-gate baseline) pays nothing but this branch.
+  const u64 t_start = tel_ != nullptr ? telemetry::steady_now_ns() : 0;
   const std::shared_ptr<const RuleProgram> snap = programs_->acquire();
   const u64 v = snap->version();
   batch.rule_version = v;
+  const bool version_advanced = seen_any_ && v > max_version_;
   if (seen_any_ && v < max_version_) {
     monotonic_ = false;
   }
@@ -149,7 +160,70 @@ void ClassifierElement::push_batch(net::PacketBatch& batch) {
       cache_->fill_verdict(keys_[k], r.match, v);
     }
   }
+  if (tel_ != nullptr) {
+    publish_telemetry(batch, v, t_start, version_advanced);
+  }
   forward(batch);
+}
+
+void ClassifierElement::publish_telemetry(const net::PacketBatch& batch,
+                                          u64 version, u64 t_start_ns,
+                                          bool version_advanced) {
+  telemetry::WorkerLive& live = tel_->live;
+  const u64 t_end = telemetry::steady_now_ns();
+
+  // Update visibility: the first batch after the published version
+  // moved past everything this worker had seen. The publisher stamped
+  // the version just before its swap; observe - publish is the
+  // end-to-end latency of the update becoming effective here. t_start
+  // was read before acquire(), so clamp the (rare) case of the clock
+  // read racing the publish.
+  if (version_advanced) {
+    if (const std::optional<u64> t_pub =
+            programs_->publish_clock().lookup(version)) {
+      const u64 lat = t_start_ns > *t_pub ? t_start_ns - *t_pub : 0;
+      telemetry::counter_add(live.update_visibility_samples, 1);
+      telemetry::counter_add(live.update_visibility_total_ns, lat);
+      if (lat > telemetry::counter_load(live.update_visibility_max_ns)) {
+        telemetry::counter_store(live.update_visibility_max_ns, lat);
+      }
+    }
+  }
+
+  // Mirror the running totals (totals, not deltas: the sampler's
+  // interval differences then sum exactly to the end-of-run report).
+  telemetry::counter_store(live.classifier_lookups, lookups_);
+  telemetry::counter_store(live.probe_memo_hits, memo_hits_);
+  telemetry::counter_store(live.probe_memo_invalidations,
+                           scratch_.memo_invalidations);
+  const u64 conflicts = scratch_.memo.conflict_evictions();
+  telemetry::counter_store(live.probe_memo_conflict_evictions, conflicts);
+  telemetry::counter_store(
+      live.path_scalar_loop_batches,
+      scratch_.controller.batches(core::BatchPath::kScalarLoop));
+  telemetry::counter_store(
+      live.path_phase2_batches,
+      scratch_.controller.batches(core::BatchPath::kPhase2));
+  telemetry::counter_store(
+      live.path_phase2_memo_batches,
+      scratch_.controller.batches(core::BatchPath::kPhase2Memo));
+  telemetry::counter_store(live.snapshot_version, version);
+
+  // One span event per batch into the SPSC ring.
+  telemetry::TraceEvent ev;
+  ev.t_start_ns = t_start_ns;
+  ev.duration_ns = t_end > t_start_ns ? t_end - t_start_ns : 0;
+  ev.worker = tel_->worker;
+  ev.packets = static_cast<u32>(batch.size());
+  ev.lookups = static_cast<u32>(keys_.size());
+  ev.distinct_keys = static_cast<u32>(scratch_.last_batch_distinct);
+  ev.path = scratch_.last_batch_path;
+  ev.memo_hits = static_cast<u32>(memo_hits_ - last_memo_hits_);
+  ev.memo_conflicts = static_cast<u32>(conflicts - last_memo_conflicts_);
+  ev.snapshot_version = version;
+  tel_->ring.push(ev);
+  last_memo_hits_ = memo_hits_;
+  last_memo_conflicts_ = conflicts;
 }
 
 // ---- ActionSink -----------------------------------------------------------
@@ -160,6 +234,7 @@ void ActionSink::push_batch(net::PacketBatch& batch) {
     const net::PacketMeta& m = batch.meta(i);
     ++packets_;
     latency_.record(m.lookup_cycles);
+    if (tel_ != nullptr) tel_->live.latency.record(m.lookup_cycles);
     memory_accesses_ += m.memory_accesses;
     if (m.from_cache) ++cache_hits_;
     if (!m.matched) {
@@ -173,6 +248,14 @@ void ActionSink::push_batch(net::PacketBatch& batch) {
     } else {
       ++forwarded_;
     }
+  }
+  if (tel_ != nullptr) {
+    telemetry::WorkerLive& live = tel_->live;
+    telemetry::counter_store(live.packets, packets_);
+    telemetry::counter_store(live.batches, batches_);
+    telemetry::counter_store(live.matched, matched_);
+    telemetry::counter_store(live.dropped, dropped_);
+    telemetry::counter_store(live.memory_accesses, memory_accesses_);
   }
   forward(batch);
 }

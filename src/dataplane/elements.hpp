@@ -25,6 +25,7 @@
 #include "dataplane/stats.hpp"
 #include "net/packet.hpp"
 #include "net/trace.hpp"
+#include "telemetry/live_stats.hpp"
 
 namespace pclass::dataplane {
 
@@ -112,7 +113,8 @@ class PacketSource : public Element {
 /// drop path (resolved, unmatched, parse_error).
 class Parser : public Element {
  public:
-  Parser() : Element("parser") {}
+  explicit Parser(telemetry::WorkerTelemetry* tel = nullptr)
+      : Element("parser"), tel_(tel) {}
 
   void push_batch(net::PacketBatch& batch) override;
 
@@ -120,6 +122,7 @@ class Parser : public Element {
   [[nodiscard]] u64 errors() const { return errors_; }
 
  private:
+  telemetry::WorkerTelemetry* tel_;
   u64 parsed_ = 0;
   u64 errors_ = 0;
 };
@@ -132,11 +135,13 @@ class Parser : public Element {
 class FlowCacheElement : public Element {
  public:
   FlowCacheElement(const RuleProgramPublisher* programs, u32 depth,
-                   const std::string& name = "flow_cache")
+                   const std::string& name = "flow_cache",
+                   telemetry::WorkerTelemetry* tel = nullptr)
       : Element(name),
         programs_(programs),
         cache_(name, depth == 0 ? 1 : depth),
-        seen_version_(programs->version()) {}
+        seen_version_(programs->version()),
+        tel_(tel) {}
 
   void push_batch(net::PacketBatch& batch) override;
 
@@ -163,6 +168,7 @@ class FlowCacheElement : public Element {
   const RuleProgramPublisher* programs_;
   core::FlowCache cache_;
   u64 seen_version_ = 0;
+  telemetry::WorkerTelemetry* tel_;
 };
 
 /// Phases 2-4: acquire the current RuleProgram (one atomic load per
@@ -178,8 +184,10 @@ class FlowCacheElement : public Element {
 class ClassifierElement : public Element {
  public:
   explicit ClassifierElement(const RuleProgramPublisher* programs,
-                             FlowCacheElement* cache = nullptr)
-      : Element("classifier"), programs_(programs), cache_(cache) {}
+                             FlowCacheElement* cache = nullptr,
+                             telemetry::WorkerTelemetry* tel = nullptr)
+      : Element("classifier"), programs_(programs), cache_(cache),
+        tel_(tel) {}
 
   void push_batch(net::PacketBatch& batch) override;
 
@@ -218,14 +226,24 @@ class ClassifierElement : public Element {
   [[nodiscard]] bool version_monotonic() const { return monotonic_; }
 
  private:
+  /// Mirror the running totals into the live counter block, record the
+  /// update-visibility sample when the observed version advanced, and
+  /// push this batch's span event into the trace ring. Only called when
+  /// telemetry is attached.
+  void publish_telemetry(const net::PacketBatch& batch, u64 version,
+                         u64 t_start_ns, bool version_advanced);
+
   const RuleProgramPublisher* programs_;
   FlowCacheElement* cache_;
+  telemetry::WorkerTelemetry* tel_;
   std::vector<net::FiveTuple> keys_;       // scratch, reused per batch
   std::vector<core::ClassifyResult> res_;  // scratch, reused per batch
   std::vector<usize> slots_;               // scratch, reused per batch
   core::BatchScratch scratch_;             // phase-2 engine scratch
   u64 lookups_ = 0;
   u64 memo_hits_ = 0;
+  u64 last_memo_hits_ = 0;       // per-batch delta base for the ring event
+  u64 last_memo_conflicts_ = 0;  // per-batch delta base for the ring event
   u64 min_version_ = std::numeric_limits<u64>::max();
   u64 max_version_ = 0;
   bool monotonic_ = true;
@@ -235,7 +253,8 @@ class ClassifierElement : public Element {
 /// Tail element: verdict accounting and latency measurement.
 class ActionSink : public Element {
  public:
-  ActionSink() : Element("sink") {}
+  explicit ActionSink(telemetry::WorkerTelemetry* tel = nullptr)
+      : Element("sink"), tel_(tel) {}
 
   void push_batch(net::PacketBatch& batch) override;
 
@@ -252,6 +271,7 @@ class ActionSink : public Element {
   [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
 
  private:
+  telemetry::WorkerTelemetry* tel_;
   u64 packets_ = 0;
   u64 matched_ = 0;
   u64 dropped_ = 0;

@@ -1,6 +1,7 @@
 #include "dataplane/engine.hpp"
 
 #include <chrono>
+#include <limits>
 
 namespace pclass::dataplane {
 
@@ -71,6 +72,12 @@ void Engine::start(TrafficPool& pool) {
   }
   stop_.store(false, std::memory_order_relaxed);
   workers_.clear();
+  tel_.clear();
+  sampler_.reset();
+  timeseries_.clear();
+  trace_events_.clear();
+  trace_truncated_ = 0;
+  final_drained_ = false;
   // Draw this engine's worker threads from the shared budget (blocking
   // until the whole grant is free), so concurrent engines never exceed
   // the budget's capacity in total.
@@ -80,18 +87,33 @@ void Engine::start(TrafficPool& pool) {
     worker_count = budget_granted_;
   }
   for (usize i = 0; i < worker_count; ++i) {
+    telemetry::WorkerTelemetry* tel = nullptr;
+    if (cfg_.telemetry) {
+      tel_.push_back(std::make_unique<telemetry::WorkerTelemetry>(
+          static_cast<u32>(i), cfg_.trace_ring_capacity));
+      tel = tel_.back().get();
+    }
     auto w = std::make_unique<Worker>();
+    w->index = i;
     w->source = w->pipeline.emplace<PacketSource>(&pool, cfg_.loop);
-    w->parser = w->pipeline.emplace<Parser>();
+    w->parser = w->pipeline.emplace<Parser>(tel);
     if (cfg_.flow_cache_depth > 0) {
       w->cache = w->pipeline.emplace<FlowCacheElement>(
           programs_, cfg_.flow_cache_depth,
-          "worker" + std::to_string(i) + ".flow_cache");
+          "worker" + std::to_string(i) + ".flow_cache", tel);
     }
     w->classifier =
-        w->pipeline.emplace<ClassifierElement>(programs_, w->cache);
-    w->sink = w->pipeline.emplace<ActionSink>();
+        w->pipeline.emplace<ClassifierElement>(programs_, w->cache, tel);
+    w->sink = w->pipeline.emplace<ActionSink>(tel);
     workers_.push_back(std::move(w));
+  }
+  if (cfg_.telemetry && cfg_.stats_interval_ms > 0) {
+    std::vector<telemetry::WorkerTelemetry*> blocks;
+    blocks.reserve(tel_.size());
+    for (const auto& t : tel_) blocks.push_back(t.get());
+    sampler_ = std::make_unique<telemetry::StatsSampler>(
+        std::move(blocks), cfg_.stats_interval_ms, trace_keep());
+    sampler_->start();
   }
   const Clock::time_point t0 = Clock::now();
   try {
@@ -128,6 +150,9 @@ void Engine::start(TrafficPool& pool) {
 void Engine::worker_main(Worker& w) {
   net::PacketBatch batch(cfg_.batch_size);
   while (!stop_.load(std::memory_order_relaxed)) {
+    if (cfg_.worker_fault_hook) {
+      cfg_.worker_fault_hook(w.index);
+    }
     w.source->push_batch(batch);
     if (w.source->exhausted()) break;
   }
@@ -150,13 +175,46 @@ EngineReport Engine::finish(bool signal_stop) {
     wall_seconds_ = wall;
     running_ = false;
   }
-  // Every worker has joined: give the grant back (idempotent — stop()
-  // may be called again).
+  // Telemetry epilogue, after every worker joined (so totals are
+  // final): the sampler takes its mandatory flush tick (sum of interval
+  // deltas == end-of-run totals), and the rings get one final drain so
+  // drop accounting is complete even without a sampler. Idempotent —
+  // stop() may be called again.
+  if (sampler_ != nullptr) {
+    sampler_->stop();
+    timeseries_ = sampler_->take_samples();
+    trace_events_ = sampler_->take_events();
+    trace_truncated_ = sampler_->truncated();
+    sampler_.reset();
+    final_drained_ = true;
+  } else if (!final_drained_) {
+    const usize keep = trace_keep();
+    for (const auto& t : tel_) {
+      if (keep == 0) {
+        t->ring.drain(nullptr);
+      } else if (trace_events_.size() < keep) {
+        t->ring.drain(&trace_events_);
+      } else {
+        trace_truncated_ += t->ring.drain(nullptr);
+      }
+    }
+    if (keep > 0 && trace_events_.size() > keep) {
+      trace_truncated_ += trace_events_.size() - keep;
+      trace_events_.resize(keep);
+    }
+    final_drained_ = true;
+  }
   if (budget_granted_ > 0) {
     cfg_.budget->release(budget_granted_);
     budget_granted_ = 0;
   }
   return collect();
+}
+
+usize Engine::trace_keep() const {
+  if (!cfg_.collect_trace) return 0;
+  return cfg_.trace_keep_limit == 0 ? std::numeric_limits<usize>::max()
+                                    : cfg_.trace_keep_limit;
 }
 
 EngineReport Engine::run(TrafficPool& pool) {
@@ -204,11 +262,24 @@ EngineReport Engine::collect() const {
     r.min_version = w.classifier->min_version();
     r.max_version = w.classifier->max_version();
     r.version_monotonic = w.classifier->version_monotonic();
+    if (i < tel_.size() && tel_[i] != nullptr) {
+      const telemetry::WorkerTelemetry& t = *tel_[i];
+      r.trace_events_dropped = t.ring.dropped();
+      r.update_visibility_samples =
+          telemetry::counter_load(t.live.update_visibility_samples);
+      r.update_visibility_total_ns =
+          telemetry::counter_load(t.live.update_visibility_total_ns);
+      r.update_visibility_max_ns =
+          telemetry::counter_load(t.live.update_visibility_max_ns);
+    }
     r.latency = w.sink->latency();
     r.wall_seconds = w.wall_seconds;
     r.error = w.error;
     rep.workers.push_back(std::move(r));
   }
+  rep.timeseries = timeseries_;
+  rep.trace_events = trace_events_;
+  rep.trace_events_truncated = trace_truncated_;
   return rep;
 }
 

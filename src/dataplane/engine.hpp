@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -19,6 +20,8 @@
 #include "dataplane/elements.hpp"
 #include "dataplane/rule_program.hpp"
 #include "dataplane/stats.hpp"
+#include "telemetry/live_stats.hpp"
+#include "telemetry/sampler.hpp"
 
 namespace pclass::dataplane {
 
@@ -78,6 +81,34 @@ struct EngineConfig {
   /// count; the grant is released once every worker joined. nullptr =
   /// unbudgeted.
   WorkerBudget* budget = nullptr;
+  /// Master telemetry switch: per-worker live counters + trace rings +
+  /// update-visibility sampling. Always on by default (the contract is
+  /// near-zero cost — the overhead gate in bench_batch_ablation holds
+  /// it under 3% Mpps); false is the gate's baseline leg.
+  bool telemetry = true;
+  /// Run a background StatsSampler snapshotting all workers every this
+  /// many ms onto EngineReport::timeseries. 0 = no sampler thread
+  /// (end-of-run totals only). Requires `telemetry`.
+  u64 stats_interval_ms = 0;
+  /// Keep drained TraceRing events in EngineReport::trace_events (the
+  /// chrome://tracing export). Off: rings are still written and drop
+  /// accounting still works, but drains discard the payload.
+  bool collect_trace = false;
+  /// Per-worker TraceRing capacity in events (rounded up to a power of
+  /// two). Sized so one sampler interval's batches fit comfortably.
+  usize trace_ring_capacity = telemetry::TraceRing::kDefaultCapacity;
+  /// With collect_trace, retain at most this many drained spans for the
+  /// export — a loop-mode run can produce millions, and chrome://tracing
+  /// chokes far earlier. Spans past the limit still drain (drop
+  /// accounting stays exact) and are counted in
+  /// EngineReport::trace_events_truncated. 0 = unlimited.
+  usize trace_keep_limit = usize{1} << 15;
+  /// Test hook: invoked as (worker_index) once per batch iteration in
+  /// worker_main before the pipeline runs. A throw propagates through
+  /// the worker's normal exception capture into WorkerReport::error —
+  /// how the error-surfacing tests inject a worker fault. nullptr in
+  /// production.
+  std::function<void(usize)> worker_fault_hook;
 };
 
 /// Multi-worker batched dataplane runtime.
@@ -104,6 +135,7 @@ class Engine {
 
  private:
   struct Worker {
+    usize index = 0;
     Pipeline pipeline;
     PacketSource* source = nullptr;
     Parser* parser = nullptr;
@@ -118,10 +150,22 @@ class Engine {
   void worker_main(Worker& w);
   EngineReport finish(bool signal_stop);
   [[nodiscard]] EngineReport collect() const;
+  /// Effective trace retention cap: 0 = not collecting, SIZE_MAX =
+  /// collecting without a limit.
+  [[nodiscard]] usize trace_keep() const;
 
   EngineConfig cfg_;
   const RuleProgramPublisher* programs_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Per-worker telemetry blocks (index-aligned with workers_; empty
+  /// when cfg_.telemetry is false). unique_ptr keeps each block at its
+  /// own cache-line-aligned allocation.
+  std::vector<std::unique_ptr<telemetry::WorkerTelemetry>> tel_;
+  std::unique_ptr<telemetry::StatsSampler> sampler_;
+  std::vector<telemetry::StatsSample> timeseries_;
+  std::vector<telemetry::TraceEvent> trace_events_;
+  u64 trace_truncated_ = 0;  ///< drained past trace_keep_limit
+  bool final_drained_ = false;  ///< rings flushed after the last join
   std::atomic<bool> stop_{false};
   bool running_ = false;
   double wall_seconds_ = 0;

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "telemetry/trace_ring.hpp"
+
 namespace pclass::dataplane {
 
 RuleProgramPublisher::RuleProgramPublisher(core::ClassifierConfig cfg)
@@ -49,6 +51,11 @@ hw::UpdateStats RuleProgramPublisher::replay(RuleProgram& p,
 
 void RuleProgramPublisher::publish(const std::shared_ptr<RuleProgram>& next) {
   published_slot_ = (next == replicas_[0]) ? 0 : 1;
+  // Timestamp *before* the swap: a worker can only observe the version
+  // after the store below, so observe - publish is never negative by
+  // construction (modulo clock reads racing the release, clamped by the
+  // consumer).
+  publish_clock_.note(next->version_, telemetry::steady_now_ns());
   current_.store(next, std::memory_order_release);
   published_version_.store(next->version_, std::memory_order_release);
   ++stats_.publishes;

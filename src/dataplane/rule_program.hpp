@@ -31,6 +31,7 @@
 
 #include "core/classifier.hpp"
 #include "sdn/southbound.hpp"
+#include "telemetry/publish_clock.hpp"
 
 namespace pclass::dataplane {
 
@@ -110,6 +111,13 @@ class RuleProgramPublisher : public sdn::UpdateSink {
   [[nodiscard]] const PublisherStats& stats() const { return stats_; }
   [[nodiscard]] const core::ClassifierConfig& config() const { return cfg_; }
 
+  /// Version -> publish-timestamp table (telemetry): note()d just
+  /// before every snapshot swap, so workers can measure how long a
+  /// published version took to become visible to their lookups.
+  [[nodiscard]] const telemetry::PublishClock& publish_clock() const {
+    return publish_clock_;
+  }
+
  private:
   /// The unpublished replica, after waiting for readers to drain off it.
   [[nodiscard]] std::shared_ptr<RuleProgram>& standby();
@@ -137,6 +145,7 @@ class RuleProgramPublisher : public sdn::UpdateSink {
   std::atomic<std::shared_ptr<const RuleProgram>> current_;
   std::atomic<u64> published_version_{0};
   PublisherStats stats_;
+  telemetry::PublishClock publish_clock_;
 };
 
 }  // namespace pclass::dataplane

@@ -8,11 +8,15 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "core/path_controller.hpp"
+#include "telemetry/sample.hpp"
+#include "telemetry/trace_ring.hpp"
 
 namespace pclass::dataplane {
 
@@ -53,25 +57,21 @@ class LatencyHistogram {
                              static_cast<double>(count_);
   }
 
-  /// Value at percentile \p p (0..100): the lower bound of the bucket
-  /// holding the p-th sample (clamped to the observed min/max).
+  /// Value at percentile \p p (0..100), linearly interpolated within
+  /// the winning bucket (the target rank's midpoint share of the bucket
+  /// width), clamped to the observed min/max so a single sample reports
+  /// itself exactly and no percentile escapes the data range.
   [[nodiscard]] u64 percentile(double p) const {
     if (count_ == 0) return 0;
-    const double target = p / 100.0 * static_cast<double>(count_);
-    u64 seen = 0;
-    for (usize i = 0; i < kBuckets; ++i) {
-      seen += buckets_[i];
-      if (static_cast<double>(seen) >= target && buckets_[i] > 0) {
-        return std::clamp(bucket_floor(i), min_, max_);
-      }
-    }
-    return max_;
+    const double v = percentile_from(buckets_, count_, p);
+    return std::clamp(static_cast<u64>(std::llround(v)), min_, max_);
   }
 
- private:
   // Log-linear indexing: values < 4 get their own bucket; above that,
   // the exponent selects a group of 4 sub-buckets addressed by the two
-  // bits after the leading one.
+  // bits after the leading one. Public so telemetry's AtomicHistogram
+  // shares the exact bucketing (interval snapshots stay mergeable with
+  // end-of-run histograms).
   [[nodiscard]] static usize bucket_of(u64 v) {
     if (v < 4) return static_cast<usize>(v);
     const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;  // >= 2
@@ -81,7 +81,8 @@ class LatencyHistogram {
                            kBuckets - 1);
   }
 
-  /// Smallest value mapping to bucket \p i (inverse of bucket_of).
+  /// Smallest value mapping to bucket \p i (inverse of bucket_of:
+  /// bucket_of(bucket_floor(i)) == i for every reachable bucket).
   [[nodiscard]] static u64 bucket_floor(usize i) {
     if (i < 4) return static_cast<u64>(i);
     const unsigned e = static_cast<unsigned>((i - 4) / 4) + 2;
@@ -89,6 +90,39 @@ class LatencyHistogram {
     return (u64{4} + sub) << (e - 2);
   }
 
+  /// Interpolated percentile over raw bucket counts (\p count samples):
+  /// the target rank is placed at its midpoint share of the winning
+  /// bucket's [floor, next-floor) width. Shared by instance percentiles
+  /// and the StatsSampler's interval-delta percentiles; unclamped (the
+  /// caller may not know min/max), monotonic in \p p.
+  [[nodiscard]] static double percentile_from(
+      std::span<const u64> buckets, u64 count, double p) {
+    if (count == 0) return 0.0;
+    const double target =
+        std::clamp(p / 100.0 * static_cast<double>(count), 1.0,
+                   static_cast<double>(count));
+    u64 seen = 0;
+    for (usize i = 0; i < buckets.size(); ++i) {
+      const u64 c = buckets[i];
+      if (c == 0) continue;
+      if (static_cast<double>(seen + c) >= target) {
+        const u64 lo = bucket_floor(i);
+        const u64 hi =
+            i + 1 < kBuckets ? bucket_floor(i + 1) : lo;  // overflow: floor
+        // Midpoint convention: the k-th of c samples in the bucket sits
+        // at (k - 0.5)/c of the width.
+        const double frac = std::clamp(
+            (target - static_cast<double>(seen) - 0.5) / static_cast<double>(c),
+            0.0, 1.0);
+        return static_cast<double>(lo) +
+               frac * static_cast<double>(hi - lo);
+      }
+      seen += c;
+    }
+    return static_cast<double>(bucket_floor(kBuckets - 1));
+  }
+
+ private:
   std::array<u64, kBuckets> buckets_{};
   u64 count_ = 0;
   u64 sum_ = 0;
@@ -130,6 +164,15 @@ struct WorkerReport {
   u64 min_version = 0;   ///< lowest rule-program version observed
   u64 max_version = 0;   ///< highest rule-program version observed
   bool version_monotonic = true;  ///< versions never went backwards
+  /// TraceRing events lost to overwrite before a drain reached them
+  /// (0 when telemetry is off or the ring kept up).
+  u64 trace_events_dropped = 0;
+  /// Update-visibility latency (publish -> this worker observing the
+  /// new version): observation count, summed ns and worst case. Zero
+  /// when the program never changed mid-run (finite scenarios).
+  u64 update_visibility_samples = 0;
+  u64 update_visibility_total_ns = 0;
+  u64 update_visibility_max_ns = 0;
   LatencyHistogram latency;       ///< per-packet lookup cycles
   double wall_seconds = 0;
   /// Non-empty if the worker died on an exception (exceptions must not
@@ -149,10 +192,28 @@ struct WorkerReport {
   }
 };
 
+/// Engine-wide update-visibility rollup (see WorkerReport's
+/// update_visibility_* fields).
+struct UpdateVisibility {
+  u64 samples = 0;
+  double mean_ns = 0;
+  u64 max_ns = 0;
+};
+
 /// Whole-engine rollup.
 struct EngineReport {
   std::vector<WorkerReport> workers;
   double wall_seconds = 0;
+  /// The StatsSampler's interval series (empty when
+  /// EngineConfig::stats_interval_ms == 0). Invariant: per-counter
+  /// interval deltas sum to the end-of-run totals.
+  std::vector<telemetry::StatsSample> timeseries;
+  /// Drained TraceRing events (EngineConfig::collect_trace).
+  std::vector<telemetry::TraceEvent> trace_events;
+  /// Spans drained past EngineConfig::trace_keep_limit — measured but
+  /// not retained for the export (distinct from trace_events_dropped(),
+  /// which is ring-overwrite loss).
+  u64 trace_events_truncated = 0;
 
   [[nodiscard]] u64 packets() const {
     u64 n = 0;
@@ -186,6 +247,24 @@ struct EngineReport {
     LatencyHistogram h;
     for (const auto& w : workers) h.merge(w.latency);
     return h;
+  }
+  [[nodiscard]] u64 trace_events_dropped() const {
+    u64 n = 0;
+    for (const auto& w : workers) n += w.trace_events_dropped;
+    return n;
+  }
+  [[nodiscard]] UpdateVisibility update_visibility() const {
+    UpdateVisibility v;
+    u64 total_ns = 0;
+    for (const auto& w : workers) {
+      v.samples += w.update_visibility_samples;
+      total_ns += w.update_visibility_total_ns;
+      v.max_ns = std::max(v.max_ns, w.update_visibility_max_ns);
+    }
+    v.mean_ns = v.samples == 0 ? 0.0
+                               : static_cast<double>(total_ns) /
+                                     static_cast<double>(v.samples);
+    return v;
   }
 };
 

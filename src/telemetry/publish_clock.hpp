@@ -1,0 +1,63 @@
+/// \file publish_clock.hpp
+/// Version -> publish-timestamp table behind the update-visibility
+/// measurement: the publisher notes steady_now_ns() for a version just
+/// before the snapshot swap, and each worker that later observes the
+/// version computes `observe - publish` — the end-to-end latency from
+/// "controller published" to "this worker's lookups use it".
+///
+/// Writer: the single publisher thread (serialized by its writer
+/// mutex). Readers: N workers, lock-free. Each slot is a seqlock pair
+/// (version, t_ns): the writer invalidates, stores the timestamp, then
+/// stores the version with release order; a reader accepts the
+/// timestamp only when the version matches before and after the read.
+/// The table is a power-of-two window over recent versions — under a
+/// storm an old version's slot may be recycled before a slow worker
+/// looks, in which case lookup() misses and the sample is simply not
+/// taken (visibility is a measurement, never a correctness dependency).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace pclass::telemetry {
+
+class PublishClock {
+ public:
+  static constexpr usize kSlots = 1024;  // power of two
+
+  /// Writer side: record that \p version was published at \p t_ns.
+  void note(u64 version, u64 t_ns) {
+    Slot& s = slots_[version & (kSlots - 1)];
+    s.version.store(0, std::memory_order_relaxed);
+    s.t_ns.store(t_ns, std::memory_order_relaxed);
+    s.version.store(version, std::memory_order_release);
+  }
+
+  /// Reader side: the publish timestamp of \p version, if its slot has
+  /// not been recycled. Version 0 (the empty sentinel) never resolves.
+  [[nodiscard]] std::optional<u64> lookup(u64 version) const {
+    if (version == 0) return std::nullopt;
+    const Slot& s = slots_[version & (kSlots - 1)];
+    if (s.version.load(std::memory_order_acquire) != version) {
+      return std::nullopt;
+    }
+    const u64 t = s.t_ns.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.version.load(std::memory_order_relaxed) != version) {
+      return std::nullopt;  // recycled mid-read
+    }
+    return t;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<u64> version{0};
+    std::atomic<u64> t_ns{0};
+  };
+  std::array<Slot, kSlots> slots_{};
+};
+
+}  // namespace pclass::telemetry

@@ -1,0 +1,119 @@
+#include "telemetry/sampler.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace pclass::telemetry {
+
+StatsSampler::StatsSampler(std::vector<WorkerTelemetry*> workers,
+                           u64 interval_ms, usize keep_limit)
+    : workers_(std::move(workers)),
+      interval_ms_(interval_ms == 0 ? 1 : interval_ms),
+      keep_limit_(keep_limit) {}
+
+StatsSampler::~StatsSampler() { stop(); }
+
+void StatsSampler::start() {
+  t_start_ns_ = steady_now_ns();
+  t_prev_ns_ = t_start_ns_;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void StatsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final flush: the callers stop() after the workers joined, so this
+  // tick captures whatever landed after the last periodic one — the
+  // step that makes sum(deltas) == end-of-run totals exact.
+  tick();
+  stopped_ = true;
+}
+
+void StatsSampler::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                 [&] { return stopping_; });
+    if (stopping_) break;
+    lk.unlock();
+    tick();
+    lk.lock();
+  }
+}
+
+void StatsSampler::tick() {
+  const u64 now = steady_now_ns();
+  LiveSnapshot cur{};
+  for (const WorkerTelemetry* w : workers_) {
+    if (w != nullptr) cur.add(w->live);
+  }
+  for (WorkerTelemetry* w : workers_) {
+    if (w == nullptr) continue;
+    if (keep_limit_ == 0) {
+      w->ring.drain(nullptr);  // collection off; drop accounting only
+    } else if (events_.size() < keep_limit_) {
+      w->ring.drain(&events_);
+    } else {
+      truncated_ += w->ring.drain(nullptr);
+    }
+  }
+  if (keep_limit_ > 0 && events_.size() > keep_limit_) {
+    truncated_ += events_.size() - keep_limit_;
+    events_.resize(keep_limit_);
+  }
+
+  StatsSample s;
+  s.t_ns = now - t_start_ns_;
+  s.interval_ns = now - t_prev_ns_;
+  s.packets = cur.packets - prev_.packets;
+  s.batches = cur.batches - prev_.batches;
+  s.cache_hits = cur.cache_hits - prev_.cache_hits;
+  s.classifier_lookups = cur.classifier_lookups - prev_.classifier_lookups;
+  s.probe_memo_hits = cur.probe_memo_hits - prev_.probe_memo_hits;
+  s.memory_accesses = cur.memory_accesses - prev_.memory_accesses;
+  s.mpps = s.interval_ns == 0
+               ? 0.0
+               : static_cast<double>(s.packets) * 1e3 /
+                     static_cast<double>(s.interval_ns);
+  std::array<u64, AtomicHistogram::kBuckets> delta_buckets;
+  u64 delta_count = 0;
+  for (usize i = 0; i < delta_buckets.size(); ++i) {
+    delta_buckets[i] = cur.latency_buckets[i] - prev_.latency_buckets[i];
+    delta_count += delta_buckets[i];
+  }
+  s.p50_cycles = static_cast<u64>(std::llround(
+      dataplane::LatencyHistogram::percentile_from(delta_buckets,
+                                                   delta_count, 50)));
+  s.p99_cycles = static_cast<u64>(std::llround(
+      dataplane::LatencyHistogram::percentile_from(delta_buckets,
+                                                   delta_count, 99)));
+  s.min_version = cur.min_version;
+  s.max_version = cur.max_version;
+  s.update_visibility_samples =
+      cur.update_visibility_samples - prev_.update_visibility_samples;
+  const u64 vis_ns =
+      cur.update_visibility_total_ns - prev_.update_visibility_total_ns;
+  s.update_visibility_mean_ns =
+      s.update_visibility_samples == 0
+          ? 0.0
+          : static_cast<double>(vis_ns) /
+                static_cast<double>(s.update_visibility_samples);
+
+  // Idle ticks produce no row: the series records activity, and an
+  // all-zero delta adds nothing to the sum invariant either way.
+  const bool active = s.packets != 0 || s.batches != 0 ||
+                      s.classifier_lookups != 0 || delta_count != 0 ||
+                      s.update_visibility_samples != 0;
+  if (active) {
+    samples_.push_back(s);
+  }
+  prev_ = cur;
+  t_prev_ns_ = now;
+}
+
+}  // namespace pclass::telemetry

@@ -1,0 +1,75 @@
+/// \file sampler.hpp
+/// Background stats sampler: every interval it snapshots all workers'
+/// live counters (relaxed reads, workers never stop), differences the
+/// engine-wide totals against the previous tick, and appends one
+/// StatsSample to an in-memory time series — the `timeseries` array of
+/// the scenario report. It also drains the workers' trace rings each
+/// tick, so rings sized for one interval's batches lose nothing.
+///
+/// stop() takes a mandatory final flush tick after the workers joined,
+/// which is what guarantees the headline invariant: the sum of interval
+/// deltas equals the end-of-run totals, exactly.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "telemetry/live_stats.hpp"
+#include "telemetry/sample.hpp"
+#include "telemetry/trace_ring.hpp"
+
+namespace pclass::telemetry {
+
+/// The background thread described in the file header. Lifetime: the
+/// Engine constructs it in start() (interval > 0), stop()s it after the
+/// workers joined, then takes the series and drained events.
+class StatsSampler {
+ public:
+  /// \p workers are borrowed (must outlive the sampler); \p keep_limit
+  /// is the max number of drained TraceEvents retained for the export
+  /// (0 = drain-and-discard, which still maintains the rings' drop
+  /// accounting). Events drained past the limit are counted in
+  /// truncated(), not silently lost.
+  StatsSampler(std::vector<WorkerTelemetry*> workers, u64 interval_ms,
+               usize keep_limit);
+  ~StatsSampler();
+
+  void start();
+  /// Join the thread and take the final flush tick. Idempotent.
+  void stop();
+
+  /// Valid after stop().
+  [[nodiscard]] std::vector<StatsSample> take_samples() {
+    return std::move(samples_);
+  }
+  [[nodiscard]] std::vector<TraceEvent> take_events() {
+    return std::move(events_);
+  }
+  /// Events successfully drained but not retained (keep_limit reached).
+  [[nodiscard]] u64 truncated() const { return truncated_; }
+
+ private:
+  void loop();
+  void tick();
+
+  std::vector<WorkerTelemetry*> workers_;
+  u64 interval_ms_;
+  usize keep_limit_;
+  u64 truncated_ = 0;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+
+  u64 t_start_ns_ = 0;
+  u64 t_prev_ns_ = 0;
+  LiveSnapshot prev_{};
+  std::vector<StatsSample> samples_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pclass::telemetry

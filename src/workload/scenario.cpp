@@ -65,8 +65,9 @@ ScenarioWorkload obtain_workload(
 
 using dataplane::WorkerBudget;
 
-/// Copy the engine-side measurement into the result.
-void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
+/// Copy the engine-side measurement into the result (by value: the
+/// telemetry series and trace events are moved out of the report).
+void fill_engine_stats(ScenarioResult& r, EngineReport rep) {
   r.packets_processed = rep.packets();
   r.matched = rep.matched();
   r.wall_seconds = rep.wall_seconds;
@@ -121,6 +122,17 @@ void fill_engine_stats(ScenarioResult& r, const EngineReport& rep) {
   r.snapshot_max_version = max_v;
   r.snapshot_lag = max_v >= min_v ? max_v - min_v : 0;
   r.versions_monotonic = rep.versions_monotonic();
+  r.trace_events_dropped = rep.trace_events_dropped();
+  r.trace_events_truncated = rep.trace_events_truncated;
+  r.update_visibility = rep.update_visibility();
+  for (const auto& w : rep.workers) {
+    if (!w.error.empty()) {
+      r.worker_errors.push_back("worker " + std::to_string(w.worker) +
+                                ": " + w.error);
+    }
+  }
+  r.timeseries = std::move(rep.timeseries);
+  r.trace_events = std::move(rep.trace_events);
   if (r.error.empty()) {
     r.error = rep.first_error();
   }
@@ -178,7 +190,9 @@ void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
                  .batch_size = opts.batch_size,
                  .flow_cache_depth = opts.flow_cache_depth,
                  .loop = false,
-                 .budget = budget},
+                 .budget = budget,
+                 .stats_interval_ms = opts.stats_interval_ms,
+                 .collect_trace = opts.collect_trace},
                 programs);
   fill_engine_stats(r, engine.run(pool));
   verify_oracle(r, programs, trace);
@@ -296,7 +310,9 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts,
                  .batch_size = opts.batch_size,
                  .flow_cache_depth = opts.flow_cache_depth,
                  .loop = true,
-                 .budget = budget},
+                 .budget = budget,
+                 .stats_interval_ms = opts.stats_interval_ms,
+                 .collect_trace = opts.collect_trace},
                 programs);
   engine.start(pool);
   const auto t0 = std::chrono::steady_clock::now();
@@ -374,7 +390,9 @@ ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
                  .batch_size = opts.batch_size,
                  .flow_cache_depth = opts.flow_cache_depth,
                  .loop = true,
-                 .budget = budget},
+                 .budget = budget,
+                 .stats_interval_ms = opts.stats_interval_ms,
+                 .collect_trace = opts.collect_trace},
                 programs);
   engine.start(pool);
 
@@ -612,6 +630,7 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   j.key("path_policy").value(std::string(to_string(opts.path_policy)));
   j.key("parallel").value(opts.parallel);
   j.key("max_workers").value(opts.max_workers);
+  j.key("stats_interval_ms").value(u64{opts.stats_interval_ms});
   j.end_object();
   j.key("scenarios").begin_array();
   for (const ScenarioResult& r : results) {
@@ -671,6 +690,41 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
     j.key("checked").value(r.oracle_checked);
     j.key("mismatches").value(r.oracle_mismatches);
     j.end_object();
+    j.key("telemetry").begin_object();
+    j.key("trace_events_dropped").value(r.trace_events_dropped);
+    j.key("trace_events_truncated").value(r.trace_events_truncated);
+    j.key("update_visibility").begin_object();
+    j.key("samples").value(r.update_visibility.samples);
+    j.key("mean_ns").value(r.update_visibility.mean_ns);
+    j.key("max_ns").value(r.update_visibility.max_ns);
+    j.end_object();
+    j.key("timeseries").begin_array();
+    for (const telemetry::StatsSample& s : r.timeseries) {
+      j.begin_object();
+      j.key("t_ns").value(s.t_ns);
+      j.key("interval_ns").value(s.interval_ns);
+      j.key("packets").value(s.packets);
+      j.key("batches").value(s.batches);
+      j.key("mpps").value(s.mpps);
+      j.key("cache_hits").value(s.cache_hits);
+      j.key("classifier_lookups").value(s.classifier_lookups);
+      j.key("probe_memo_hits").value(s.probe_memo_hits);
+      j.key("memory_accesses").value(s.memory_accesses);
+      j.key("p50_cycles").value(s.p50_cycles);
+      j.key("p99_cycles").value(s.p99_cycles);
+      j.key("min_version").value(s.min_version);
+      j.key("max_version").value(s.max_version);
+      j.key("update_visibility_samples").value(s.update_visibility_samples);
+      j.key("update_visibility_mean_ns").value(s.update_visibility_mean_ns);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    j.key("errors").begin_array();
+    for (const std::string& e : r.worker_errors) {
+      j.value(e);
+    }
+    j.end_array();
     j.key("error").value(r.error);
     j.end_object();
   }

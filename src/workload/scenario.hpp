@@ -19,7 +19,10 @@
 
 #include "core/config.hpp"
 #include "core/path_controller.hpp"
+#include "dataplane/stats.hpp"
 #include "net/packet_batch.hpp"
+#include "telemetry/sample.hpp"
+#include "telemetry/trace_ring.hpp"
 
 namespace pclass::dataplane {
 class WorkerBudget;
@@ -72,6 +75,14 @@ struct ScenarioOptions {
   /// re-synthesizing — cross-PR perf comparisons become byte-identical
   /// instead of merely seed-identical.
   std::string load_workloads_dir;
+  /// Run each scenario's engine with a background StatsSampler at this
+  /// interval (--stats-interval-ms); its delta series lands in the
+  /// report's `timeseries` array. 0 = off.
+  u64 stats_interval_ms = 0;
+  /// Keep per-batch TraceRing events in ScenarioResult::trace_events
+  /// (--trace-out sets this; the events feed the chrome://tracing
+  /// export, they are not embedded in the JSON report).
+  bool collect_trace = false;
 };
 
 /// One scenario's measurement + verification outcome.
@@ -126,6 +137,19 @@ struct ScenarioResult {
   // Oracle verification vs baseline::LinearSearch.
   usize oracle_checked = 0;
   usize oracle_mismatches = 0;
+
+  // Telemetry (PR 6): the sampler's interval series, ring-drop
+  // accounting, update-visibility latency and the raw span events the
+  // chrome trace export consumes.
+  std::vector<telemetry::StatsSample> timeseries;
+  std::vector<telemetry::TraceEvent> trace_events;
+  u64 trace_events_dropped = 0;
+  /// Spans measured but not retained (per-engine trace_keep_limit).
+  u64 trace_events_truncated = 0;
+  dataplane::UpdateVisibility update_visibility;
+  /// Per-worker errors ("worker N: what"), surfaced as the report's
+  /// `errors` array (r.error carries the first one for ok()).
+  std::vector<std::string> worker_errors;
 
   std::string error;  ///< non-empty when the scenario failed to run
 

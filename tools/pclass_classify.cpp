@@ -10,10 +10,17 @@
 ///                   [--memo persistent|per-batch|off] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--workers N] [--batch B] [--cache DEPTH]
+///                   [--stats-interval-ms N] [--trace-out FILE]
+///                   [--metrics-out FILE]
 ///
 /// With --workers the trace runs through the batched dataplane engine
 /// (N worker threads, per-worker flow caches, lock-free rule snapshots)
-/// instead of the single-threaded classify loop.
+/// instead of the single-threaded classify loop. The engine path also
+/// exposes the telemetry exporters: --stats-interval-ms runs the
+/// background StatsSampler, --trace-out writes per-batch spans as
+/// chrome://tracing JSON (one track per worker) and --metrics-out dumps
+/// end-of-run counters in Prometheus text format. All three require
+/// --workers.
 ///
 /// --batch-mode selects how batches run phase 2 (the A/B knob): scalar
 /// = packet-at-a-time, phase2 = sorted-key batch engine. It applies to
@@ -27,11 +34,13 @@
 /// (2 = set-associative default, 1 = direct-mapped A/B reference).
 /// --path-policy pins the phase-2 execution path instead of letting
 /// the per-worker cost-model controller pick it per batch.
+#include <array>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "baseline/linear_search.hpp"
@@ -42,6 +51,7 @@
 #include "dataplane/engine.hpp"
 #include "net/trace.hpp"
 #include "ruleset/classbench.hpp"
+#include "telemetry/export.hpp"
 
 using namespace pclass;
 
@@ -54,9 +64,11 @@ int usage() {
                "[--memo persistent|per-batch|off] [--memo-ways 1|2]\n"
                "                       [--path-policy "
                "adaptive|phase2|scalar-loop] "
-               "[--workers N [--batch B] [--cache DEPTH]]\n"
-               "(--batch/--cache configure the dataplane engine and "
-               "require --workers)\n";
+               "[--workers N [--batch B] [--cache DEPTH]\n"
+               "                        [--stats-interval-ms N] "
+               "[--trace-out FILE] [--metrics-out FILE]]\n"
+               "(--batch/--cache and the telemetry flags configure the "
+               "dataplane engine and require --workers)\n";
   return 2;
 }
 
@@ -83,19 +95,29 @@ OracleVerify verify_against_oracle(const core::ConfigurableClassifier& clf,
   return v;
 }
 
+/// Telemetry export options for the engine path.
+struct TelemetryOut {
+  u64 stats_interval_ms = 0;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
 /// Dataplane-engine path: the whole trace, batched, across N workers.
 int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
                core::ClassifierConfig cfg, usize workers, usize batch,
-               u32 cache_depth, bool verify) {
+               u32 cache_depth, bool verify, const TelemetryOut& tout) {
   dataplane::RuleProgramPublisher programs(cfg);
   const hw::UpdateStats load = programs.install_ruleset(rules);
   dataplane::TrafficPool pool =
       dataplane::TrafficPool::from_trace(trace, /*materialize=*/false);
 
-  dataplane::Engine engine({.workers = workers,
-                            .batch_size = batch,
-                            .flow_cache_depth = cache_depth},
-                           programs);
+  dataplane::Engine engine(
+      {.workers = workers,
+       .batch_size = batch,
+       .flow_cache_depth = cache_depth,
+       .stats_interval_ms = tout.stats_interval_ms,
+       .collect_trace = !tout.trace_path.empty()},
+      programs);
   // The engine clamps degenerate values (0 workers/batch); report the
   // effective geometry, not the requested one.
   workers = engine.config().workers;
@@ -150,7 +172,58 @@ int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
                  std::to_string(lat.max())});
   a.add_row({"snapshot versions monotonic",
              rep.versions_monotonic() ? "yes" : "NO"});
+  if (tout.stats_interval_ms > 0) {
+    a.add_row({"timeseries samples", std::to_string(rep.timeseries.size()) +
+                                         " (every " +
+                                         std::to_string(tout.stats_interval_ms) +
+                                         " ms)"});
+  }
+  if (rep.trace_events_dropped() > 0) {
+    a.add_row({"trace events dropped",
+               std::to_string(rep.trace_events_dropped())});
+  }
   a.print(std::cout);
+
+  if (!tout.trace_path.empty()) {
+    const std::array<telemetry::TraceProcess, 1> procs = {
+        telemetry::TraceProcess{"pclass_classify", rep.trace_events}};
+    std::ofstream os(tout.trace_path);
+    if (!os) {
+      std::cerr << "error: cannot open " << tout.trace_path << "\n";
+      return 1;
+    }
+    telemetry::write_chrome_trace(os, procs);
+    std::cerr << "wrote " << tout.trace_path << "\n";
+  }
+  if (!tout.metrics_path.empty()) {
+    std::ofstream os(tout.metrics_path);
+    if (!os) {
+      std::cerr << "error: cannot open " << tout.metrics_path << "\n";
+      return 1;
+    }
+    telemetry::MetricsWriter m(os);
+    using Label = telemetry::MetricsWriter::Label;
+    const std::array<Label, 1> ls = {Label{"tool", "pclass_classify"}};
+    m.counter("pclass_packets_total", "Packets processed", ls,
+              static_cast<double>(rep.packets()));
+    m.counter("pclass_matched_total", "Packets matched by a rule", ls,
+              static_cast<double>(rep.matched()));
+    m.gauge("pclass_throughput_mpps", "End-of-run aggregate Mpps", ls,
+            rep.aggregate_mpps());
+    m.gauge("pclass_lookup_cycles_p50", "Modelled lookup cycles, p50", ls,
+            static_cast<double>(lat.percentile(50)));
+    m.gauge("pclass_lookup_cycles_p99", "Modelled lookup cycles, p99", ls,
+            static_cast<double>(lat.percentile(99)));
+    m.counter("pclass_probe_memo_hits_total", "Probe-memo hits", ls,
+              static_cast<double>(memo_hits));
+    m.counter("pclass_trace_events_dropped_total",
+              "Trace-ring events lost to overwrite", ls,
+              static_cast<double>(rep.trace_events_dropped()));
+    const auto vis = rep.update_visibility();
+    m.gauge("pclass_update_visibility_mean_ns",
+            "Mean publish->worker-visible latency", ls, vis.mean_ns);
+    std::cerr << "wrote " << tout.metrics_path << "\n";
+  }
 
   if (verify) {
     // Two checks: (1) per-packet agreement of the published snapshot's
@@ -189,6 +262,7 @@ int main(int argc, char** argv) {
   usize workers = 0;  // 0 = classic single-threaded loop
   usize batch = net::kDefaultBatchCapacity;
   u32 cache_depth = 0;
+  TelemetryOut tout;
   u64 n = 0;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -245,11 +319,25 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (flag == "--stats-interval-ms" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || n > 3'600'000) return usage();
+      tout.stats_interval_ms = n;
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      tout.trace_path = argv[++i];
+    } else if (flag == "--metrics-out" && i + 1 < argc) {
+      tout.metrics_path = argv[++i];
     } else if (flag == "--verify") {
       verify = true;
     } else {
       return usage();
     }
+  }
+  if (workers == 0 && (tout.stats_interval_ms > 0 ||
+                       !tout.trace_path.empty() ||
+                       !tout.metrics_path.empty())) {
+    std::cerr << "error: --stats-interval-ms/--trace-out/--metrics-out "
+                 "require the dataplane engine (--workers N)\n";
+    return usage();
   }
 
   try {
@@ -274,7 +362,7 @@ int main(int argc, char** argv) {
 
     if (workers > 0) {
       return run_engine(rules, trace, cfg, workers, batch, cache_depth,
-                        verify);
+                        verify, tout);
     }
     if (cache_depth != 0) {
       std::cerr << "note: --cache configures the dataplane engine "

@@ -15,9 +15,19 @@
 ///                   [--memo persistent|per-batch] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--save-workloads DIR] [--load-workloads DIR]
+///                   [--stats-interval-ms N] [--trace-out FILE]
+///                   [--metrics-out FILE]
 ///
 /// --smoke shrinks every workload (~6x) for fast CI runs. The report
 /// goes to stdout unless --out names a file.
+///
+/// Telemetry: --stats-interval-ms N runs a background sampler per
+/// engine and embeds its delta series as the report's `timeseries`
+/// array; --trace-out writes every batch span as chrome://tracing JSON
+/// (one process per scenario, one track per worker — load it at
+/// chrome://tracing or ui.perfetto.dev); --metrics-out writes a
+/// Prometheus text-exposition dump of the per-scenario end-of-run
+/// counters.
 ///
 /// The catalog runs on a small thread pool (scenarios are independent;
 /// the report keeps catalog order) — --parallel 1 restores sequential
@@ -33,6 +43,7 @@
 /// of re-synthesizing, so two runs (e.g. scalar vs phase2 batch mode,
 /// persistent vs per-batch probe memo via --memo, or two PRs) measure
 /// byte-identical workloads.
+#include <array>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -40,6 +51,7 @@
 #include <vector>
 
 #include "common/parse.hpp"
+#include "telemetry/export.hpp"
 #include "workload/scenario.hpp"
 
 using namespace pclass;
@@ -53,8 +65,51 @@ int usage() {
                "[--batch-mode scalar|phase2] "
                "[--memo persistent|per-batch] [--memo-ways 1|2] "
                "[--path-policy adaptive|phase2|scalar-loop] "
-               "[--save-workloads DIR] [--load-workloads DIR]\n";
+               "[--save-workloads DIR] [--load-workloads DIR] "
+               "[--stats-interval-ms N] [--trace-out FILE] "
+               "[--metrics-out FILE]\n";
   return 2;
+}
+
+/// End-of-run counters of every scenario as Prometheus text exposition.
+void write_metrics(std::ostream& os,
+                   const std::vector<workload::ScenarioResult>& results) {
+  telemetry::MetricsWriter m(os);
+  using Label = telemetry::MetricsWriter::Label;
+  for (const auto& r : results) {
+    const std::array<Label, 1> ls = {Label{"scenario", r.name}};
+    m.counter("pclass_packets_total", "Packets processed", ls,
+              static_cast<double>(r.packets_processed));
+    m.counter("pclass_matched_total", "Packets matched by a rule", ls,
+              static_cast<double>(r.matched));
+    m.gauge("pclass_throughput_mpps", "End-of-run aggregate Mpps", ls,
+            r.mpps);
+    m.gauge("pclass_cache_hit_rate", "Flow-cache hit rate", ls,
+            r.cache_hit_rate);
+    m.gauge("pclass_lookup_cycles_p50", "Modelled lookup cycles, p50", ls,
+            static_cast<double>(r.p50_cycles));
+    m.gauge("pclass_lookup_cycles_p99", "Modelled lookup cycles, p99", ls,
+            static_cast<double>(r.p99_cycles));
+    m.counter("pclass_probe_memo_hits_total", "Probe-memo hits", ls,
+              static_cast<double>(r.probe_memo_hits));
+    m.counter("pclass_probe_memo_conflict_evictions_total",
+              "Probe-memo conflict evictions", ls,
+              static_cast<double>(r.probe_memo_conflict_evictions));
+    m.counter("pclass_updates_applied_total", "Southbound updates applied",
+              ls, static_cast<double>(r.updates_applied));
+    m.counter("pclass_trace_events_dropped_total",
+              "Trace-ring events lost to overwrite", ls,
+              static_cast<double>(r.trace_events_dropped));
+    m.gauge("pclass_update_visibility_mean_ns",
+            "Mean publish->worker-visible latency", ls,
+            r.update_visibility.mean_ns);
+    m.gauge("pclass_update_visibility_max_ns",
+            "Max publish->worker-visible latency", ls,
+            static_cast<double>(r.update_visibility.max_ns));
+    m.counter("pclass_oracle_mismatches_total",
+              "Oracle verification mismatches", ls,
+              static_cast<double>(r.oracle_mismatches));
+  }
 }
 
 }  // namespace
@@ -63,6 +118,8 @@ int main(int argc, char** argv) {
   workload::ScenarioOptions opts;
   std::vector<std::string> wanted;
   std::string out_path;
+  std::string trace_path;
+  std::string metrics_path;
   bool list_only = false;
 
   u64 n = 0;
@@ -125,6 +182,14 @@ int main(int argc, char** argv) {
       opts.save_workloads_dir = argv[++i];
     } else if (flag == "--load-workloads" && i + 1 < argc) {
       opts.load_workloads_dir = argv[++i];
+    } else if (flag == "--stats-interval-ms" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n) || n > 3'600'000) return usage();
+      opts.stats_interval_ms = n;
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+      opts.collect_trace = true;
+    } else if (flag == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       return usage();
     }
@@ -159,10 +224,45 @@ int main(int argc, char** argv) {
       if (r.updates_applied > 0) {
         std::cerr << ", " << r.updates_applied << " updates";
       }
-      if (!r.error.empty()) {
+      if (r.update_visibility.samples > 0) {
+        std::cerr << ", upd-vis "
+                  << static_cast<u64>(r.update_visibility.mean_ns) / 1000
+                  << "us mean";
+      }
+      if (r.trace_events_dropped > 0) {
+        std::cerr << ", trace-drop " << r.trace_events_dropped;
+      }
+      for (const auto& we : r.worker_errors) {
+        std::cerr << " [" << we << "]";
+      }
+      if (!r.error.empty() && r.worker_errors.empty()) {
         std::cerr << " [" << r.error << "]";
       }
       std::cerr << "\n";
+    }
+
+    if (!trace_path.empty()) {
+      std::vector<telemetry::TraceProcess> procs;
+      procs.reserve(results.size());
+      for (const auto& r : results) {
+        procs.push_back({r.name, r.trace_events});
+      }
+      std::ofstream os(trace_path);
+      if (!os) {
+        std::cerr << "error: cannot open " << trace_path << "\n";
+        return 1;
+      }
+      telemetry::write_chrome_trace(os, procs);
+      std::cerr << "wrote " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      if (!os) {
+        std::cerr << "error: cannot open " << metrics_path << "\n";
+        return 1;
+      }
+      write_metrics(os, results);
+      std::cerr << "wrote " << metrics_path << "\n";
     }
 
     std::ostringstream report;
