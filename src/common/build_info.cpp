@@ -1,0 +1,41 @@
+#include "common/build_info.hpp"
+
+// The CMake build stamps these two onto this translation unit only (see
+// the set_property(SOURCE ...) block); fall back to "unknown" so the
+// file also compiles standalone.
+#ifndef PCLASS_GIT_SHA
+#define PCLASS_GIT_SHA "unknown"
+#endif
+#ifndef PCLASS_BUILD_TYPE
+#define PCLASS_BUILD_TYPE "unknown"
+#endif
+
+namespace pclass::common {
+
+namespace {
+constexpr const char* kVersion = "0.7.0";
+
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{kVersion, PCLASS_GIT_SHA, compiler_id(),
+                              PCLASS_BUILD_TYPE};
+  return info;
+}
+
+std::string version_line(const std::string& tool) {
+  const BuildInfo& b = build_info();
+  return tool + " " + b.version + " (" + b.git_sha + ", " + b.build_type +
+         ", " + b.compiler + ")";
+}
+
+}  // namespace pclass::common

@@ -1,0 +1,65 @@
+/// \file registry.hpp
+/// Named read/write handler registry — the etalon ControlSocket shape:
+/// an element exports `read`-style introspection handlers and
+/// `write`-style mutation handlers under flat names, and the socket
+/// server dispatches request lines to them by name.
+///
+/// The registry is built once (by the ControlPlane) before the server
+/// starts and is read-only afterwards, so lookups need no locking.
+/// Handlers themselves must be thread-safe: connection threads invoke
+/// them concurrently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "control/protocol.hpp"
+
+namespace pclass::control {
+
+/// A handler takes the request's argument tokens (everything after the
+/// handler name) and returns status + optional payload. Exceptions are
+/// mapped by the dispatcher: ParseError/ConfigError -> 400, anything
+/// else -> 500.
+using Handler = std::function<HandlerResult(std::span<const std::string>)>;
+
+class HandlerRegistry {
+ public:
+  void add_read(std::string name, Handler h) {
+    read_[std::move(name)] = std::move(h);
+  }
+  void add_write(std::string name, Handler h) {
+    write_[std::move(name)] = std::move(h);
+  }
+
+  [[nodiscard]] const Handler* find_read(const std::string& name) const {
+    const auto it = read_.find(name);
+    return it == read_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Handler* find_write(const std::string& name) const {
+    const auto it = write_.find(name);
+    return it == write_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::vector<std::string> read_names() const {
+    std::vector<std::string> out;
+    out.reserve(read_.size());
+    for (const auto& [name, h] : read_) out.push_back(name);
+    return out;
+  }
+  [[nodiscard]] std::vector<std::string> write_names() const {
+    std::vector<std::string> out;
+    out.reserve(write_.size());
+    for (const auto& [name, h] : write_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Handler> read_;
+  std::map<std::string, Handler> write_;
+};
+
+}  // namespace pclass::control

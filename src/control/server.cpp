@@ -1,0 +1,424 @@
+#include "control/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+
+namespace pclass::control {
+
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+/// One client connection. The connection thread owns fd lifecycle
+/// (close); writers from other threads (subscription pushes, stop()'s
+/// terminal record) coordinate through wr_mu + open.
+struct ControlServer::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> finished{false};  ///< thread body returned; reapable
+
+  std::mutex wr_mu;     ///< serializes all sends; guards open/subscribed
+  bool open = true;     ///< false once the fd is closed or known broken
+  bool subscribed = false;
+  u64 sub_token = 0;
+  std::atomic<u64> rows_pushed{0};
+  std::atomic<u64> rows_dropped{0};
+
+  /// Blocking send of the whole buffer (status lines, payloads,
+  /// terminal records). Returns false when the peer is gone.
+  bool send_all(const std::string& data) {
+    std::lock_guard<std::mutex> lk(wr_mu);
+    return send_all_locked(data);
+  }
+
+  bool send_all_locked(const std::string& data) {
+    if (!open || fd < 0) return false;
+    usize off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        open = false;  // peer closed; the reader side will notice too
+        return false;
+      }
+      off += static_cast<usize>(n);
+    }
+    return true;
+  }
+
+  /// Non-blocking push of one NDJSON row from the sampler thread.
+  /// Never blocks on a slow consumer: a contended write lock or a
+  /// would-block socket drops the row whole; only a row that started
+  /// going out is completed (partial lines would corrupt the stream).
+  void push_row(const std::string& row) {
+    std::unique_lock<std::mutex> lk(wr_mu, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      rows_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!open || !subscribed || fd < 0) return;
+    const ssize_t n =
+        ::send(fd, row.data(), row.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n == static_cast<ssize_t>(row.size())) {
+      rows_pushed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        open = false;
+      }
+      rows_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Partially sent: finish the line (bounded by one row) to keep the
+    // NDJSON framing intact.
+    usize off = static_cast<usize>(n);
+    while (off < row.size()) {
+      const ssize_t m =
+          ::send(fd, row.data() + off, row.size() - off, MSG_NOSIGNAL);
+      if (m <= 0) {
+        if (m < 0 && errno == EINTR) continue;
+        open = false;
+        rows_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      off += static_cast<usize>(m);
+    }
+    rows_pushed.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+ControlServer::ControlServer(ServerConfig cfg, const HandlerRegistry* registry,
+                             SubscribeHooks hooks)
+    : cfg_(std::move(cfg)), registry_(registry), hooks_(std::move(hooks)) {}
+
+ControlServer::~ControlServer() { stop(); }
+
+std::string ControlServer::endpoint() const {
+  if (!cfg_.unix_path.empty()) return "unix:" + cfg_.unix_path;
+  return "tcp:" + cfg_.tcp_host + ":" + std::to_string(port_);
+}
+
+void ControlServer::start() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_) {
+    throw ConfigError("ControlServer: already started");
+  }
+  if (!cfg_.unix_path.empty()) {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (cfg_.unix_path.size() >= sizeof(sa.sun_path)) {
+      throw ConfigError("ControlServer: unix socket path too long: " +
+                        cfg_.unix_path);
+    }
+    std::memcpy(sa.sun_path, cfg_.unix_path.c_str(),
+                cfg_.unix_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw ConfigError(errno_text("socket(AF_UNIX)"));
+    ::unlink(cfg_.unix_path.c_str());  // stale socket from a crashed run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      const std::string err = errno_text("bind(" + cfg_.unix_path + ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw ConfigError(err);
+    }
+  } else {
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(cfg_.tcp_port);
+    if (::inet_pton(AF_INET, cfg_.tcp_host.c_str(), &sa.sin_addr) != 1) {
+      throw ConfigError("ControlServer: bad listen address: " + cfg_.tcp_host);
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw ConfigError(errno_text("socket(AF_INET)"));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      const std::string err = errno_text(
+          "bind(" + cfg_.tcp_host + ":" + std::to_string(cfg_.tcp_port) + ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw ConfigError(err);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string err = errno_text("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError(err);
+  }
+  if (::pipe(wake_pipe_) < 0) {
+    const std::string err = errno_text("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError(err);
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ControlServer::stop() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (const int fd : {wake_pipe_[0], wake_pipe_[1]}) {
+    if (fd >= 0) ::close(fd);
+  }
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+
+  // End every connection: subscribed ones get their terminal record
+  // while their socket is still writable, then a shutdown() unblocks
+  // the connection thread's recv.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> clk(conns_mu_);
+    conns = conns_;
+  }
+  for (const auto& c : conns) {
+    end_subscription(*c, "server-shutdown");
+    std::lock_guard<std::mutex> wlk(c->wr_mu);
+    if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+  }
+  for (const auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  std::lock_guard<std::mutex> clk(conns_mu_);
+  conns_.clear();
+}
+
+void ControlServer::reap_finished() {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  std::erase_if(conns_, [](const std::shared_ptr<Connection>& c) {
+    if (!c->finished.load(std::memory_order_acquire)) return false;
+    if (c->thread.joinable()) c->thread.join();
+    return true;
+  });
+}
+
+void ControlServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, 500);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    reap_finished();
+    if (r <= 0 || (fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      if (conns_.size() >= cfg_.max_connections) {
+        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        const std::string msg =
+            format_status(kTooManyConnections, "too many connections");
+        [[maybe_unused]] const ssize_t n =
+            ::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      conns_.push_back(conn);
+      conn->thread = std::thread([this, conn] { serve_connection(conn); });
+    }
+  }
+}
+
+void ControlServer::serve_connection(const std::shared_ptr<Connection>& conn) {
+  std::string buf;
+  char tmp[1024];
+  bool keep = true;
+  while (keep && !stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(conn->fd, tmp, sizeof(tmp), 0);
+    if (n == 0) break;  // orderly disconnect
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buf.append(tmp, static_cast<usize>(n));
+    usize start = 0;
+    for (;;) {
+      const usize nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (line.size() > kMaxLineBytes) {
+        conn->send_all(format_status(kLineTooLong, "line too long"));
+        keep = false;
+        break;
+      }
+      if (!handle_line(conn, line)) {
+        keep = false;
+        break;
+      }
+    }
+    buf.erase(0, start);
+    // A line still unterminated past the cap can never become valid;
+    // refuse it now instead of buffering an unbounded request.
+    if (keep && buf.size() > kMaxLineBytes) {
+      conn->send_all(format_status(kLineTooLong, "line too long"));
+      keep = false;
+    }
+  }
+  end_subscription(*conn, "client-disconnect");
+  {
+    std::lock_guard<std::mutex> lk(conn->wr_mu);
+    conn->open = false;
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void ControlServer::end_subscription(Connection& conn, const char* reason) {
+  u64 token = 0;
+  u64 pushed = 0;
+  u64 dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(conn.wr_mu);
+    if (!conn.subscribed) return;
+    conn.subscribed = false;
+    token = conn.sub_token;
+  }
+  // Unsubscribe blocks until any in-flight push returned, so after this
+  // line the terminal record is guaranteed to be the last row.
+  if (hooks_.unsubscribe) hooks_.unsubscribe(token);
+  pushed = conn.rows_pushed.load(std::memory_order_relaxed);
+  dropped = conn.rows_dropped.load(std::memory_order_relaxed);
+  std::string terminal = "{\"terminal\":true,\"reason\":\"";
+  terminal += reason;
+  terminal += "\",\"rows_pushed\":" + std::to_string(pushed);
+  terminal += ",\"rows_dropped\":" + std::to_string(dropped) + "}\n";
+  conn.send_all(terminal);  // best effort — the peer may already be gone
+}
+
+bool ControlServer::handle_line(const std::shared_ptr<Connection>& conn,
+                                const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return true;  // blank lines are ignored
+  // Any request from a streaming client ends its stream first (the
+  // terminal record precedes this request's response).
+  end_subscription(*conn, "superseded");
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const std::string& verb = tokens[0];
+
+  if (verb == "quit") {
+    conn->send_all(format_status(kOk, "bye"));
+    return false;
+  }
+
+  if (verb == "subscribe") {
+    if (tokens.size() != 3 || tokens[1] != "stats") {
+      return conn->send_all(
+          format_status(kBadRequest, "usage: subscribe stats <interval_ms>"));
+    }
+    u64 interval_ms = 0;
+    if (!parse_count(tokens[2], interval_ms) || interval_ms == 0 ||
+        interval_ms > 60'000) {
+      return conn->send_all(
+          format_status(kBadRequest, "subscribe stats: interval_ms 1..60000"));
+    }
+    if (!hooks_.subscribe || !hooks_.unsubscribe) {
+      return conn->send_all(
+          format_status(kConflict, "no live stats feed attached"));
+    }
+    // Status first, then attach — rows must never precede the 200.
+    if (!conn->send_all(format_status(
+            kOk, "streaming interval_ms=" + std::to_string(interval_ms)))) {
+      return false;
+    }
+    std::weak_ptr<Connection> weak = conn;
+    const u64 token = hooks_.subscribe(
+        interval_ms, [weak](const std::string& row) {
+          if (const auto c = weak.lock()) c->push_row(row);
+        });
+    if (token == 0) {
+      // Feed went away between the 200 and the attach (e.g. a racing
+      // drain): the stream ends before it begins, via the same terminal
+      // record a live stream would get.
+      conn->send_all(
+          "{\"terminal\":true,\"reason\":\"unavailable\","
+          "\"rows_pushed\":0,\"rows_dropped\":0}\n");
+      return true;
+    }
+    std::lock_guard<std::mutex> lk(conn->wr_mu);
+    conn->subscribed = true;
+    conn->sub_token = token;
+    conn->rows_pushed.store(0, std::memory_order_relaxed);
+    conn->rows_dropped.store(0, std::memory_order_relaxed);
+    return true;
+  }
+
+  if (verb == "read" || verb == "write") {
+    if (tokens.size() < 2) {
+      return conn->send_all(
+          format_status(kBadRequest, "usage: " + verb + " <handler> [args]"));
+    }
+    const Handler* handler = verb == "read" ? registry_->find_read(tokens[1])
+                                            : registry_->find_write(tokens[1]);
+    HandlerResult res;
+    if (handler == nullptr) {
+      res = HandlerResult::error(
+          kUnknownHandler, "unknown " + verb + " handler '" + tokens[1] + "'");
+    } else {
+      const std::span<const std::string> args(tokens.data() + 2,
+                                              tokens.size() - 2);
+      try {
+        res = (*handler)(args);
+      } catch (const ParseError& e) {
+        res = HandlerResult::error(kBadRequest, e.what());
+      } catch (const ConfigError& e) {
+        res = HandlerResult::error(kBadRequest, e.what());
+      } catch (const std::exception& e) {
+        res = HandlerResult::error(kInternalError, e.what());
+      }
+    }
+    std::string out = format_status(res.code, res.message);
+    if (res.payload.has_value()) {
+      out += "DATA " + std::to_string(res.payload->size()) + "\n";
+      out += *res.payload;
+    }
+    return conn->send_all(out);
+  }
+
+  return conn->send_all(format_status(
+      kBadRequest, "unknown request '" + verb +
+                       "' (expected read|write|subscribe|quit)"));
+}
+
+}  // namespace pclass::control

@@ -1,0 +1,120 @@
+/// \file server.hpp
+/// The control socket server: a line-oriented TCP (loopback) or Unix
+/// domain socket front-end over a HandlerRegistry — the long-running
+/// half of the etalon ControlSocket idiom. One accept thread, one
+/// thread per connection (the control plane is low-rate by design;
+/// per-connection threads keep slow clients from blocking each other).
+///
+/// Streaming: `subscribe stats <ms>` switches a connection into push
+/// mode — the server registers a row sink with the control plane
+/// (SubscribeHooks) and forwards each pushed NDJSON row with a
+/// non-blocking send. Rows that would block are dropped whole (the
+/// sampler must never stall on a slow consumer); the terminal record
+/// reports both pushed and dropped counts. Any further request line
+/// from a subscribed client ends its stream first, then executes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "control/registry.hpp"
+
+namespace pclass::control {
+
+/// Where to listen. TCP binds loopback only (the control surface is a
+/// local-operations interface, not a network service); a non-empty
+/// unix_path selects a Unix domain socket instead.
+struct ServerConfig {
+  std::string tcp_host = "127.0.0.1";
+  u16 tcp_port = 0;        ///< 0 = ephemeral (tests); port() reports it
+  std::string unix_path;   ///< non-empty: Unix socket, tcp_* ignored
+  usize max_connections = 64;  ///< excess accepts get 503 + close
+};
+
+/// How the server attaches a streaming subscriber to the stats feed.
+/// subscribe returns an opaque token for unsubscribe; push_row receives
+/// one serialized NDJSON row (newline included) per sampler row.
+struct SubscribeHooks {
+  std::function<u64(u64 interval_ms,
+                    std::function<void(const std::string&)> push_row)>
+      subscribe;
+  std::function<void(u64 token)> unsubscribe;
+};
+
+class ControlServer {
+ public:
+  /// \p registry is borrowed and must outlive the server; it is
+  /// read-only once start()ed. \p hooks may be empty (subscribe
+  /// requests then get 409).
+  ControlServer(ServerConfig cfg, const HandlerRegistry* registry,
+                SubscribeHooks hooks);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Bind + listen + launch the accept thread.
+  /// \throws ConfigError on bind/listen failure.
+  void start();
+
+  /// Close the listener, end every connection (subscribed ones get
+  /// their terminal record first), join all threads. Idempotent.
+  void stop();
+
+  /// Resolved TCP port (after start(); meaningful for tcp_port == 0).
+  [[nodiscard]] u16 port() const { return port_; }
+  /// Printable endpoint ("tcp:127.0.0.1:PORT" or "unix:PATH").
+  [[nodiscard]] std::string endpoint() const;
+
+  [[nodiscard]] u64 connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  /// Process one complete request line; returns false when the
+  /// connection should close (quit / oversized line).
+  bool handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void end_subscription(Connection& conn, const char* reason);
+  /// Join and drop connections whose threads have finished.
+  void reap_finished();
+
+  ServerConfig cfg_;
+  const HandlerRegistry* registry_;
+  SubscribeHooks hooks_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: unblocks the accept poll
+  u16 port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex lifecycle_mu_;  ///< serializes start()/stop()
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::atomic<u64> connections_accepted_{0};
+  std::atomic<u64> connections_rejected_{0};
+  std::atomic<u64> requests_served_{0};
+};
+
+}  // namespace pclass::control

@@ -133,6 +133,27 @@ class Engine {
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
 
+  // ---- control-surface attach points (PR 7) ----
+  // The live-introspection plane reads the running engine without
+  // stopping it. Callers serialize against stop() themselves (the
+  // ControlPlane holds one mutex across handler dispatch and drain).
+
+  /// The background StatsSampler, or nullptr when stats_interval_ms is
+  /// 0 / telemetry is off / the engine's telemetry epilogue already ran.
+  /// Borrowed; invalidated by stop().
+  [[nodiscard]] telemetry::StatsSampler* sampler() { return sampler_.get(); }
+
+  /// Per-worker live telemetry blocks (empty when telemetry is off).
+  /// Stable from start() until the *next* start(); the counters stay
+  /// readable after stop() (they are totals, frozen once workers join).
+  [[nodiscard]] std::vector<const telemetry::WorkerTelemetry*>
+  telemetry_blocks() const {
+    std::vector<const telemetry::WorkerTelemetry*> out;
+    out.reserve(tel_.size());
+    for (const auto& t : tel_) out.push_back(t.get());
+    return out;
+  }
+
  private:
   struct Worker {
     usize index = 0;

@@ -12,6 +12,7 @@
 #include <variant>
 
 #include "common/types.hpp"
+#include "core/config.hpp"
 #include "ruleset/rule.hpp"
 
 namespace pclass::sdn {
@@ -53,9 +54,20 @@ struct FlowMod {
   ActionSpec action{};     ///< kAdd / kModify
 };
 
-/// Algorithm (re)configuration — the programmability knob of Fig. 2.
+/// Algorithm (re)configuration — the programmability knob of Fig. 2,
+/// widened (PR 7) to carry any subset of the runtime-tunable knobs so
+/// the control plane's `set` handler rides the same southbound path
+/// (and replica replay) as rule updates. Absent fields leave the
+/// device's current setting untouched; `ConfigMod{true}` keeps meaning
+/// "switch IPalg_s to BST" as before.
 struct ConfigMod {
-  bool use_bst = false;  ///< IPalg_s value
+  std::optional<bool> use_bst;  ///< IPalg_s value (kBst / kMbt)
+  /// classify_batch() strategy (phase-2 vs scalar).
+  std::optional<core::BatchMode> batch_mode;
+  /// Phase-2 execution-path policy (adaptive / forced).
+  std::optional<core::PathPolicy> path_policy;
+  /// Probe-memo associativity; the classifier validates the value.
+  std::optional<u32> memo_ways;
 };
 
 /// Device -> controller notification.

@@ -8,12 +8,24 @@
 ///
 /// stop() takes a mandatory final flush tick after the workers joined,
 /// which is what guarantees the headline invariant: the sum of interval
-/// deltas equals the end-of-run totals, exactly.
+/// deltas equals the end-of-run totals, exactly. stop() is idempotent
+/// and safe against double-stop / stop-before-start / concurrent
+/// callers — the daemon stops it from a signal-driven shutdown path
+/// that can race the engine's own teardown.
+///
+/// Live-introspection surface (PR 7): subscribers receive every
+/// appended row (the `subscribe stats` NDJSON stream), readers can copy
+/// the series mid-run (`read timeseries` without stopping anything),
+/// and an on-demand trace capture tees drained ring events into a side
+/// buffer (`trace start/stop/dump`) without disturbing the end-of-run
+/// retention accounting.
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "telemetry/live_stats.hpp"
@@ -27,6 +39,13 @@ namespace pclass::telemetry {
 /// workers joined, then takes the series and drained events.
 class StatsSampler {
  public:
+  /// Callback invoked (from the sampler thread, or the stop() caller
+  /// for the final flush row) once per *active* appended row. Must not
+  /// block: a slow subscriber stalls every other subscriber and the
+  /// next tick. The control plane's socket push is non-blocking
+  /// (drop-on-full) for exactly this reason.
+  using Subscriber = std::function<void(const StatsSample&)>;
+
   /// \p workers are borrowed (must outlive the sampler); \p keep_limit
   /// is the max number of drained TraceEvents retained for the export
   /// (0 = drain-and-discard, which still maintains the rings' drop
@@ -37,18 +56,58 @@ class StatsSampler {
   ~StatsSampler();
 
   void start();
-  /// Join the thread and take the final flush tick. Idempotent.
+  /// Join the thread and take the final flush tick. Idempotent, safe
+  /// before start() (no tick — there is nothing to flush) and under
+  /// concurrent callers (serialized; exactly one takes the flush).
   void stop();
+
+  [[nodiscard]] u64 interval_ms() const { return interval_ms_; }
 
   /// Valid after stop().
   [[nodiscard]] std::vector<StatsSample> take_samples() {
+    std::lock_guard<std::mutex> lk(data_mu_);
     return std::move(samples_);
   }
   [[nodiscard]] std::vector<TraceEvent> take_events() {
+    std::lock_guard<std::mutex> lk(data_mu_);
     return std::move(events_);
   }
   /// Events successfully drained but not retained (keep_limit reached).
-  [[nodiscard]] u64 truncated() const { return truncated_; }
+  [[nodiscard]] u64 truncated() const {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    return truncated_;
+  }
+
+  // ---- live introspection (any thread, mid-run) ----
+
+  /// Copy of the series so far — the live `read timeseries` handler.
+  [[nodiscard]] std::vector<StatsSample> samples_snapshot() const {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    return samples_;
+  }
+
+  /// Register \p fn for every subsequently appended row (including the
+  /// final flush row). Returns a token for unsubscribe().
+  [[nodiscard]] u64 subscribe(Subscriber fn);
+
+  /// Remove a subscriber. Blocks until any in-flight callback to it has
+  /// returned, so the callee's captures may be destroyed on return.
+  void unsubscribe(u64 token);
+
+  /// Start teeing drained ring events into a capture buffer (at most
+  /// \p limit events; 0 = unlimited). Restarts discard the previous
+  /// capture. The end-of-run keep/truncate accounting is unaffected.
+  void trace_capture_start(usize limit);
+
+  /// Stop capturing and take the buffer. \p truncated (optional)
+  /// receives the number of events that arrived past the limit.
+  [[nodiscard]] std::vector<TraceEvent> trace_capture_stop(
+      u64* truncated = nullptr);
+
+  [[nodiscard]] bool trace_capturing() const {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    return capturing_;
+  }
 
  private:
   void loop();
@@ -57,19 +116,37 @@ class StatsSampler {
   std::vector<WorkerTelemetry*> workers_;
   u64 interval_ms_;
   usize keep_limit_;
-  u64 truncated_ = 0;
 
   std::thread thread_;
-  std::mutex mu_;
+  std::mutex mu_;  ///< cv wait state only
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  std::mutex stop_mu_;  ///< serializes stop(); start()/stop() lifecycle
+  bool started_ = false;
   bool stopped_ = false;
 
+  /// Guards every field below (the series, trace buffers and the
+  /// differencing state) — tick() runs on the sampler thread while
+  /// snapshot/capture calls arrive from control-plane handlers.
+  mutable std::mutex data_mu_;
+  u64 truncated_ = 0;
   u64 t_start_ns_ = 0;
   u64 t_prev_ns_ = 0;
   LiveSnapshot prev_{};
   std::vector<StatsSample> samples_;
   std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> scratch_;  ///< per-tick drain staging
+  bool capturing_ = false;
+  usize capture_limit_ = 0;
+  u64 capture_truncated_ = 0;
+  std::vector<TraceEvent> capture_;
+
+  /// Guards the subscriber list; held across callback invocation so
+  /// unsubscribe() can guarantee no callback outlives it.
+  std::mutex sub_mu_;
+  u64 next_sub_token_ = 1;
+  std::vector<std::pair<u64, Subscriber>> subscribers_;
 };
 
 }  // namespace pclass::telemetry

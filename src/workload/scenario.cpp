@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "baseline/linear_search.hpp"
+#include "common/build_info.hpp"
 #include "common/error.hpp"
 #include "dataplane/engine.hpp"
 #include "workload/binio.hpp"
@@ -618,6 +619,15 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   JsonWriter j(os);
   j.begin_object();
   j.key("schema").value("pclass-scenarios-v1");
+  const auto& build = common::build_info();
+  j.key("meta").begin_object();
+  j.key("build").begin_object();
+  j.key("version").value(build.version);
+  j.key("git_sha").value(build.git_sha);
+  j.key("compiler").value(build.compiler);
+  j.key("build_type").value(build.build_type);
+  j.end_object();
+  j.end_object();
   j.key("options").begin_object();
   j.key("workers").value(opts.workers);
   j.key("batch_size").value(opts.batch_size);

@@ -429,4 +429,130 @@ TEST(MetricsWriter, DeclaresEachMetricOnceAndEscapesLabels) {
   EXPECT_NE(text.find("weird\\\"name\\\\x\\n"), std::string::npos);
 }
 
+TEST(StatsSampler, StopIsIdempotentAndSafeBeforeStart) {
+  {
+    // Never started: stop() (twice) must be a no-op, not a join on a
+    // non-existent thread or a bogus flush tick.
+    StatsSampler sampler({}, 1, 0);
+    sampler.stop();
+    sampler.stop();
+    EXPECT_TRUE(sampler.take_samples().empty());
+  }
+  {
+    WorkerTelemetry tel(0);
+    StatsSampler sampler({&tel}, 1, 0);
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Two racing stop() callers (the daemon's signal path vs the
+    // engine's own teardown): exactly one takes the final flush.
+    std::thread racer([&] { sampler.stop(); });
+    sampler.stop();
+    racer.join();
+    sampler.stop();  // and a late third call is still fine
+    const auto samples = sampler.take_samples();
+    for (const StatsSample& s : samples) {
+      EXPECT_GT(s.interval_ns, 0u);  // zero-elapsed ticks are guarded
+      EXPECT_TRUE(std::isfinite(s.mpps));
+    }
+  }
+}
+
+TEST(StatsSampler, SubscribersSeeEveryActiveRowIncludingFinalFlush) {
+  dataplane::RuleProgramPublisher programs(small_config());
+  for (u32 i = 0; i < 64; ++i) programs.apply(add_msg(i));
+  dataplane::TrafficPool pool;
+  for (u32 i = 0; i < 4096; ++i) pool.add(probe_tuple(i % 64));
+
+  dataplane::Engine engine(
+      {.workers = 2, .batch_size = 32, .loop = true, .stats_interval_ms = 2},
+      programs);
+  engine.start(pool);
+  ASSERT_NE(engine.sampler(), nullptr);
+
+  std::mutex mu;
+  std::vector<StatsSample> rows;
+  const u64 token = engine.sampler()->subscribe([&](const StatsSample& s) {
+    std::lock_guard<std::mutex> lk(mu);
+    rows.push_back(s);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Unsubscribing mid-run blocks out in-flight callbacks, after which
+  // the captures may be torn down safely.
+  engine.sampler()->unsubscribe(token);
+  const usize rows_at_unsub = [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return rows.size();
+  }();
+  EXPECT_GT(rows_at_unsub, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  // Re-subscribe through to stop(): the final flush row must reach the
+  // subscriber too (that is what lets `subscribe stats` clients see the
+  // closing delta of a drained engine).
+  const u64 token2 = engine.sampler()->subscribe([&](const StatsSample& s) {
+    std::lock_guard<std::mutex> lk(mu);
+    rows.push_back(s);
+  });
+  const usize before_stop = [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return rows.size();
+  }();
+  const dataplane::EngineReport rep = engine.stop();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_GT(rows.size(), before_stop) << "final flush row not delivered";
+    // Every delivered row is one of the report's timeseries rows, in
+    // order (the subscriber feed is the series, not a parallel sum).
+    usize cursor = 0;
+    for (const StatsSample& r : rows) {
+      while (cursor < rep.timeseries.size() &&
+             rep.timeseries[cursor].t_ns != r.t_ns) {
+        ++cursor;
+      }
+      ASSERT_LT(cursor, rep.timeseries.size()) << "row not found in series";
+      EXPECT_EQ(rep.timeseries[cursor].packets, r.packets);
+      ++cursor;
+    }
+  }
+  (void)token2;  // sampler is gone after stop(); nothing to unsubscribe
+}
+
+TEST(StatsSampler, TraceCaptureTeesWithoutDisturbingRetention) {
+  dataplane::RuleProgramPublisher programs(small_config());
+  for (u32 i = 0; i < 64; ++i) programs.apply(add_msg(i));
+  dataplane::TrafficPool pool;
+  for (u32 i = 0; i < 4096; ++i) pool.add(probe_tuple(i % 64));
+
+  dataplane::Engine engine({.workers = 2,
+                            .batch_size = 32,
+                            .loop = true,
+                            .stats_interval_ms = 2,
+                            .collect_trace = true},
+                           programs);
+  engine.start(pool);
+  StatsSampler* sampler = engine.sampler();
+  ASSERT_NE(sampler, nullptr);
+
+  EXPECT_FALSE(sampler->trace_capturing());
+  sampler->trace_capture_start(/*limit=*/8);
+  EXPECT_TRUE(sampler->trace_capturing());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  u64 truncated = 0;
+  const std::vector<TraceEvent> captured =
+      sampler->trace_capture_stop(&truncated);
+  EXPECT_FALSE(sampler->trace_capturing());
+  ASSERT_EQ(captured.size(), 8u);  // limit honored...
+  EXPECT_GT(truncated, 0u);        // ...and the overflow is accounted
+  for (const TraceEvent& e : captured) {
+    EXPECT_LT(e.worker, 2u);
+    EXPECT_GT(e.packets, 0u);
+  }
+
+  const dataplane::EngineReport rep = engine.stop();
+  // The tee did not steal from the end-of-run retention path.
+  EXPECT_GT(rep.trace_events.size(), captured.size());
+}
+
 }  // namespace

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "baseline/linear_search.hpp"
+#include "common/build_info.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
 #include "core/classifier.hpp"
@@ -248,6 +249,10 @@ int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--version") {
+    std::cout << common::version_line("pclass_classify") << "\n";
+    return 0;
+  }
   if (argc < 3) {
     return usage();
   }

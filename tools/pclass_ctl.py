@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Reference client for the pclass_serve control socket.
+
+Speaks the line protocol documented in docs/CONTROL.md: requests are
+single lines, responses are `<code> <message>` optionally followed by a
+length-framed `DATA <nbytes>` payload (every successful `read`), and
+`subscribe stats <ms>` switches the connection to NDJSON row streaming
+until the next request line (whose execution is preceded by a terminal
+record carrying push/drop counts).
+
+Examples:
+  pclass_ctl.py --tcp 127.0.0.1:9099 -c "read stats"
+  pclass_ctl.py --unix /tmp/pclass.sock -c "write rule add 7001 10 \
+10.0.0.0/8 * * 80 6 drop" -c "read metrics"
+  pclass_ctl.py --tcp 127.0.0.1:9099 --subscribe-rows 5 \
+      -c "subscribe stats 200" -c "read stats"
+  pclass_ctl.py --tcp 127.0.0.1:9099 --payload-only -c "read metrics"
+
+Exit status: 0 when every response was 2xx, 1 on a 4xx/5xx response or
+protocol violation, 2 on usage/connection errors.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class ProtocolError(Exception):
+    pass
+
+
+class Client:
+    def __init__(self, sock, payload_only=False, quiet=False):
+        self.sock = sock
+        self.rd = sock.makefile("rb")
+        self.payload_only = payload_only
+        self.quiet = quiet
+        self.failures = 0
+
+    def _readline(self):
+        line = self.rd.readline()
+        if not line:
+            raise ProtocolError("connection closed by server")
+        return line.decode("utf-8", "replace").rstrip("\n")
+
+    def _read_exact(self, nbytes):
+        buf = b""
+        while len(buf) < nbytes:
+            chunk = self.rd.read(nbytes - len(buf))
+            if not chunk:
+                raise ProtocolError("connection closed mid-payload")
+            buf += chunk
+        return buf
+
+    def _emit(self, text):
+        if not self.quiet:
+            sys.stdout.write(text)
+
+    def _read_status(self):
+        """Read a status line, skipping any straggler NDJSON rows that a
+        just-ended subscription pushed before our request was parsed."""
+        while True:
+            line = self._readline()
+            if line.startswith("{"):  # late subscription row or terminal
+                self._emit(line + "\n")
+                continue
+            parts = line.split(" ", 1)
+            try:
+                code = int(parts[0])
+            except ValueError:
+                raise ProtocolError(f"malformed status line: {line!r}")
+            return code, parts[1] if len(parts) > 1 else ""
+
+    def request(self, command, subscribe_rows=3):
+        self.sock.sendall(command.encode("utf-8") + b"\n")
+        code, message = self._read_status()
+        if not self.payload_only:
+            self._emit(f"{code} {message}\n")
+        if code >= 400:
+            self.failures += 1
+            return code
+        if command.split()[0] == "subscribe":
+            self._stream_rows(subscribe_rows)
+            return code
+        if command.split()[0] == "read":
+            frame = self._readline()
+            if not frame.startswith("DATA "):
+                raise ProtocolError(f"expected DATA frame, got {frame!r}")
+            nbytes = int(frame.split(" ", 1)[1])
+            payload = self._read_exact(nbytes)
+            sys.stdout.write(payload.decode("utf-8", "replace"))
+        return code
+
+    def _stream_rows(self, max_rows):
+        """Print NDJSON rows until max_rows arrived; the *next* request
+        (sent by the caller) ends the stream with a terminal record,
+        which _read_status skips past."""
+        rows = 0
+        while rows < max_rows:
+            line = self._readline()
+            self._emit(line + "\n")
+            try:
+                row = json.loads(line)
+            except ValueError:
+                raise ProtocolError(f"bad subscription row: {line!r}")
+            if row.get("terminal"):
+                return  # server ended the stream (drain/shutdown)
+            rows += 1
+
+
+def connect(args):
+    deadline = time.monotonic() + args.wait
+    while True:
+        try:
+            if args.unix:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(args.unix)
+            else:
+                host, _, port = args.tcp.rpartition(":")
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.connect((host or "127.0.0.1", int(port)))
+            return sock
+        except OSError as e:
+            if time.monotonic() >= deadline:
+                raise e
+            time.sleep(0.1)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="pclass_serve control-socket client")
+    target = ap.add_mutually_exclusive_group(required=True)
+    target.add_argument("--tcp", metavar="HOST:PORT",
+                        help="TCP endpoint (HOST defaults to 127.0.0.1)")
+    target.add_argument("--unix", metavar="PATH",
+                        help="Unix domain socket path")
+    ap.add_argument("-c", "--cmd", action="append", default=[],
+                    metavar="LINE", help="request line (repeatable)")
+    ap.add_argument("--wait", type=float, default=0.0, metavar="SECS",
+                    help="retry the connect for up to SECS (default: 0)")
+    ap.add_argument("--subscribe-rows", type=int, default=3, metavar="N",
+                    help="rows to print per subscribe before moving on")
+    ap.add_argument("--payload-only", action="store_true",
+                    help="print payload bytes only (no status lines)")
+    args = ap.parse_args()
+    if not args.cmd:
+        ap.error("at least one -c/--cmd is required")
+
+    try:
+        sock = connect(args)
+    except OSError as e:
+        print(f"pclass_ctl: connect failed: {e}", file=sys.stderr)
+        return 2
+
+    client = Client(sock, payload_only=args.payload_only,
+                    quiet=args.payload_only)
+    try:
+        for command in args.cmd:
+            client.request(command, subscribe_rows=args.subscribe_rows)
+        client.request("quit")
+    except ProtocolError as e:
+        print(f"pclass_ctl: protocol error: {e}", file=sys.stderr)
+        return 1
+    finally:
+        sock.close()
+    return 1 if client.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/build_info.hpp"
 #include "ruleset/classbench.hpp"
 #include "ruleset/generator.hpp"
 #include "ruleset/stats.hpp"
@@ -31,6 +32,10 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--version") {
+    std::cout << common::version_line("pclass_gen") << "\n";
+    return 0;
+  }
   if (argc < 4) {
     return usage();
   }

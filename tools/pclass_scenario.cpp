@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/parse.hpp"
 #include "telemetry/export.hpp"
 #include "workload/scenario.hpp"
@@ -59,7 +60,8 @@ using namespace pclass;
 namespace {
 
 int usage() {
-  std::cerr << "usage: pclass_scenario [--list] [--scenario NAME]... "
+  std::cerr << "usage: pclass_scenario [--version] [--list] "
+               "[--scenario NAME]... "
                "[--smoke] [--workers N] [--cache-depth N] [--seed N] "
                "[--scale F] [--out FILE] [--parallel N] [--max-workers N] "
                "[--batch-mode scalar|phase2] "
@@ -76,6 +78,14 @@ void write_metrics(std::ostream& os,
                    const std::vector<workload::ScenarioResult>& results) {
   telemetry::MetricsWriter m(os);
   using Label = telemetry::MetricsWriter::Label;
+  const auto& build = common::build_info();
+  {
+    const std::array<Label, 3> ls = {Label{"version", build.version},
+                                     Label{"git_sha", build.git_sha},
+                                     Label{"build_type", build.build_type}};
+    m.gauge("pclass_build_info",
+            "Build metadata as labels; value is always 1.", ls, 1.0);
+  }
   for (const auto& r : results) {
     const std::array<Label, 1> ls = {Label{"scenario", r.name}};
     m.counter("pclass_packets_total", "Packets processed", ls,
@@ -125,7 +135,10 @@ int main(int argc, char** argv) {
   u64 n = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--list") {
+    if (flag == "--version") {
+      std::cout << common::version_line("pclass_scenario") << "\n";
+      return 0;
+    } else if (flag == "--list") {
       list_only = true;
     } else if (flag == "--smoke") {
       opts.scale = 0.15;
