@@ -555,6 +555,17 @@ std::string ControlPlane::stats_json() {
   w.key("grace_spins").value(pstats.grace_spins);
   w.end_object();
 
+  // Engine geometry: with shards > 0 the rows below are per *shard*
+  // (telemetry blocks are per shard — a worker thread may drive
+  // several), with `worker` carrying the shard index.
+  const dataplane::EngineConfig& ecfg = engine_.config();
+  w.key("engine").begin_object();
+  w.key("workers").value(ecfg.workers);
+  w.key("shards").value(ecfg.shards);
+  w.key("shard_mode").value(std::string(to_string(ecfg.shard_mode)));
+  w.key("steer_symmetric").value(ecfg.steer_symmetric);
+  w.end_object();
+
   // Per-worker running totals straight off the live atomics, plus the
   // engine-wide sums the CI reconcile compares against report totals.
   u64 tot_packets = 0;

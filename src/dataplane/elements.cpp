@@ -236,6 +236,19 @@ void ActionSink::push_batch(net::PacketBatch& batch) {
     latency_.record(m.lookup_cycles);
     if (tel_ != nullptr) tel_->live.latency.record(m.lookup_cycles);
     memory_accesses_ += m.memory_accesses;
+    if (capture_ != nullptr) {
+      CapturedVerdict cv;
+      if (m.tuple) cv.tuple = *m.tuple;
+      cv.parse_error = m.parse_error;
+      cv.matched = m.matched;
+      cv.rule = m.rule;
+      cv.priority = m.priority;
+      cv.action_token = m.action_token;
+      cv.version = batch.rule_version;
+      cv.cycles = m.lookup_cycles;
+      cv.memory_accesses = m.memory_accesses;
+      capture_->push_back(cv);
+    }
     if (m.from_cache) ++cache_hits_;
     if (!m.matched) {
       ++dropped_;  // parse error or table miss: default drop

@@ -84,6 +84,25 @@ class TrafficPool {
   /// Rewind the claim cursor (e.g. between bench phases).
   void reset() { cursor_.store(0, std::memory_order_relaxed); }
 
+  /// Entry views for the flow-steering split (one of the two is always
+  /// empty — a pool serves a single entry kind).
+  [[nodiscard]] const std::vector<net::FiveTuple>& tuples() const {
+    return tuples_;
+  }
+  [[nodiscard]] const std::vector<net::Packet>& packets() const {
+    return packets_;
+  }
+
+  /// Deep copy with a rewound cursor — partition mode gives every shard
+  /// its own full copy of the stream so per-shard drains stay in input
+  /// order (index-aligned verdict capture across shards).
+  [[nodiscard]] TrafficPool clone() const {
+    TrafficPool p;
+    p.packets_ = packets_;
+    p.tuples_ = tuples_;
+    return p;
+  }
+
  private:
   std::vector<net::Packet> packets_;
   std::vector<net::FiveTuple> tuples_;
@@ -250,11 +269,16 @@ class ClassifierElement : public Element {
   bool seen_any_ = false;
 };
 
-/// Tail element: verdict accounting and latency measurement.
+/// Tail element: verdict accounting and latency measurement. With a
+/// \p capture vector attached it also records every packet's verdict in
+/// arrival order (the partition combiner's and the sharded differential
+/// fuzzer's input) — finite runs only; the engine rejects capture in
+/// loop mode.
 class ActionSink : public Element {
  public:
-  explicit ActionSink(telemetry::WorkerTelemetry* tel = nullptr)
-      : Element("sink"), tel_(tel) {}
+  explicit ActionSink(telemetry::WorkerTelemetry* tel = nullptr,
+                      std::vector<CapturedVerdict>* capture = nullptr)
+      : Element("sink"), tel_(tel), capture_(capture) {}
 
   void push_batch(net::PacketBatch& batch) override;
 
@@ -272,6 +296,7 @@ class ActionSink : public Element {
 
  private:
   telemetry::WorkerTelemetry* tel_;
+  std::vector<CapturedVerdict>* capture_;
   u64 packets_ = 0;
   u64 matched_ = 0;
   u64 dropped_ = 0;

@@ -55,9 +55,36 @@ usize WorkerBudget::peak_in_use() const {
 // ---- Engine ---------------------------------------------------------------
 
 Engine::Engine(EngineConfig cfg, const RuleProgramPublisher& programs)
-    : cfg_(cfg), programs_(&programs) {
+    : cfg_(cfg), programs_({&programs}) {
   if (cfg_.workers == 0) cfg_.workers = 1;
   if (cfg_.batch_size == 0) cfg_.batch_size = net::kDefaultBatchCapacity;
+  if (cfg_.shards > 0 && cfg_.shard_mode == ShardMode::kPartition) {
+    throw ConfigError(
+        "Engine: partition mode needs one publisher per shard (use the "
+        "multi-publisher constructor with partition_rules())");
+  }
+}
+
+Engine::Engine(EngineConfig cfg,
+               std::vector<const RuleProgramPublisher*> shard_programs)
+    : cfg_(cfg), programs_(std::move(shard_programs)) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.batch_size == 0) cfg_.batch_size = net::kDefaultBatchCapacity;
+  if (cfg_.shards == 0 || cfg_.shard_mode != ShardMode::kPartition) {
+    throw ConfigError(
+        "Engine: the multi-publisher constructor is partition mode's "
+        "(cfg.shards > 0, cfg.shard_mode = kPartition)");
+  }
+  if (programs_.size() != cfg_.shards) {
+    throw ConfigError("Engine: " + std::to_string(programs_.size()) +
+                      " shard publishers for " + std::to_string(cfg_.shards) +
+                      " shards");
+  }
+  for (const auto* p : programs_) {
+    if (p == nullptr) {
+      throw ConfigError("Engine: null shard publisher");
+    }
+  }
 }
 
 Engine::~Engine() {
@@ -70,42 +97,84 @@ void Engine::start(TrafficPool& pool) {
   if (running_) {
     throw ConfigError("Engine: start() while already running");
   }
+  if (capture_enabled() && cfg_.loop) {
+    throw ConfigError(cfg_.shard_mode == ShardMode::kPartition &&
+                              cfg_.shards > 0
+                          ? "Engine: partition mode requires a finite pool "
+                            "(the combiner consumes bounded capture streams)"
+                          : "Engine: capture_verdicts requires a finite pool");
+  }
   stop_.store(false, std::memory_order_relaxed);
-  workers_.clear();
+  shards_.clear();
+  threads_.clear();
   tel_.clear();
   sampler_.reset();
   timeseries_.clear();
   trace_events_.clear();
   trace_truncated_ = 0;
   final_drained_ = false;
+  const bool sharded = cfg_.shards > 0;
   // Draw this engine's worker threads from the shared budget (blocking
   // until the whole grant is free), so concurrent engines never exceed
-  // the budget's capacity in total.
-  usize worker_count = cfg_.workers;
+  // the budget's capacity in total. A sharded engine never asks for
+  // more threads than shards — extra threads would idle.
+  usize thread_count =
+      sharded ? std::min(cfg_.workers, cfg_.shards) : cfg_.workers;
   if (cfg_.budget != nullptr) {
-    budget_granted_ = cfg_.budget->acquire(cfg_.workers);
-    worker_count = budget_granted_;
+    budget_granted_ = cfg_.budget->acquire(thread_count);
+    thread_count = budget_granted_;
   }
-  for (usize i = 0; i < worker_count; ++i) {
+  const usize nshards = sharded ? cfg_.shards : thread_count;
+  thread_count = std::min(thread_count, nshards);
+
+  // Replica mode's RSS stage: split the caller's pool into per-flow
+  // consistent slices before any worker starts (the software analogue
+  // of the NIC hashing into receive queues).
+  std::vector<TrafficPool> steered;
+  if (sharded && cfg_.shard_mode == ShardMode::kReplica) {
+    steered = steer_split(pool, nshards, cfg_.steer_symmetric);
+  }
+
+  for (usize s = 0; s < nshards; ++s) {
     telemetry::WorkerTelemetry* tel = nullptr;
     if (cfg_.telemetry) {
       tel_.push_back(std::make_unique<telemetry::WorkerTelemetry>(
-          static_cast<u32>(i), cfg_.trace_ring_capacity));
+          static_cast<u32>(s), cfg_.trace_ring_capacity));
       tel = tel_.back().get();
     }
-    auto w = std::make_unique<Worker>();
-    w->index = i;
-    w->source = w->pipeline.emplace<PacketSource>(&pool, cfg_.loop);
-    w->parser = w->pipeline.emplace<Parser>(tel);
-    if (cfg_.flow_cache_depth > 0) {
-      w->cache = w->pipeline.emplace<FlowCacheElement>(
-          programs_, cfg_.flow_cache_depth,
-          "worker" + std::to_string(i) + ".flow_cache", tel);
+    auto sh = std::make_unique<Shard>();
+    sh->index = s;
+    sh->owner = s % thread_count;
+    if (sharded) {
+      sh->pool = cfg_.shard_mode == ShardMode::kReplica ? std::move(steered[s])
+                                                        : pool.clone();
+      sh->active_pool = &sh->pool;
+    } else {
+      sh->active_pool = &pool;  // legacy geometry: shared claim cursor
     }
-    w->classifier =
-        w->pipeline.emplace<ClassifierElement>(programs_, w->cache, tel);
-    w->sink = w->pipeline.emplace<ActionSink>(tel);
-    workers_.push_back(std::move(w));
+    const RuleProgramPublisher* prog = &program_for(s);
+    const std::string stem =
+        (sharded ? "shard" : "worker") + std::to_string(s);
+    sh->source =
+        sh->pipeline.emplace<PacketSource>(sh->active_pool, cfg_.loop);
+    sh->parser = sh->pipeline.emplace<Parser>(tel);
+    if (cfg_.flow_cache_depth > 0) {
+      sh->cache = sh->pipeline.emplace<FlowCacheElement>(
+          prog, cfg_.flow_cache_depth, stem + ".flow_cache", tel);
+    }
+    sh->classifier =
+        sh->pipeline.emplace<ClassifierElement>(prog, sh->cache, tel);
+    sh->sink = sh->pipeline.emplace<ActionSink>(
+        tel, capture_enabled() ? &sh->captured : nullptr);
+    shards_.push_back(std::move(sh));
+  }
+  for (usize t = 0; t < thread_count; ++t) {
+    auto w = std::make_unique<WorkerThread>();
+    w->index = t;
+    threads_.push_back(std::move(w));
+  }
+  for (const auto& sh : shards_) {
+    threads_[sh->owner]->shards.push_back(sh.get());
   }
   if (cfg_.telemetry && cfg_.stats_interval_ms > 0) {
     std::vector<telemetry::WorkerTelemetry*> blocks;
@@ -117,7 +186,7 @@ void Engine::start(TrafficPool& pool) {
   }
   const Clock::time_point t0 = Clock::now();
   try {
-    for (auto& w : workers_) {
+    for (auto& w : threads_) {
       w->thread = std::thread([this, &w = *w, t0] {
         try {
           worker_main(w);
@@ -133,10 +202,11 @@ void Engine::start(TrafficPool& pool) {
     // Thread construction failed part-way (e.g. an absurd worker
     // count): join what launched, or their destructors terminate us.
     stop_.store(true, std::memory_order_relaxed);
-    for (auto& w : workers_) {
+    for (auto& w : threads_) {
       if (w->thread.joinable()) w->thread.join();
     }
-    workers_.clear();
+    threads_.clear();
+    shards_.clear();
     if (budget_granted_ > 0) {
       cfg_.budget->release(budget_granted_);
       budget_granted_ = 0;
@@ -147,14 +217,26 @@ void Engine::start(TrafficPool& pool) {
   wall_seconds_ = 0;
 }
 
-void Engine::worker_main(Worker& w) {
+void Engine::worker_main(WorkerThread& w) {
   net::PacketBatch batch(cfg_.batch_size);
-  while (!stop_.load(std::memory_order_relaxed)) {
+  // Round-robin over the thread's shards: one batch per live shard per
+  // sweep, so co-located shards progress at the same batch cadence. A
+  // shard whose (finite or empty) pool ran dry drops out of the sweep.
+  std::vector<bool> done(w.shards.size(), false);
+  usize live = w.shards.size();
+  while (live > 0 && !stop_.load(std::memory_order_relaxed)) {
     if (cfg_.worker_fault_hook) {
       cfg_.worker_fault_hook(w.index);
     }
-    w.source->push_batch(batch);
-    if (w.source->exhausted()) break;
+    for (usize k = 0; k < w.shards.size(); ++k) {
+      if (done[k]) continue;
+      Shard& s = *w.shards[k];
+      s.source->push_batch(batch);
+      if (s.source->exhausted()) {
+        done[k] = true;
+        --live;
+      }
+    }
   }
 }
 
@@ -165,7 +247,7 @@ EngineReport Engine::finish(bool signal_stop) {
     stop_.store(true, std::memory_order_relaxed);
   }
   double wall = 0;
-  for (auto& w : workers_) {
+  for (auto& w : threads_) {
     if (w->thread.joinable()) {
       w->thread.join();
     }
@@ -228,54 +310,232 @@ EngineReport Engine::run(TrafficPool& pool) {
   return finish(/*signal_stop=*/false);
 }
 
+WorkerReport Engine::shard_report(const Shard& s) const {
+  WorkerReport r;
+  r.worker = s.index;
+  r.batches = s.sink->batches();
+  r.packets = s.sink->packets();
+  r.matched = s.sink->matched();
+  r.dropped = s.sink->dropped();
+  r.parse_errors = s.parser->errors();
+  r.cache_hits = s.sink->cache_hits();
+  r.classifier_lookups = s.classifier->lookups();
+  r.memory_accesses = s.sink->memory_accesses();
+  r.probe_memo_hits = s.classifier->probe_memo_hits();
+  r.probe_memo_invalidations = s.classifier->probe_memo_invalidations();
+  r.probe_memo_conflict_evictions =
+      s.classifier->probe_memo_conflict_evictions();
+  r.path_scalar_loop_batches =
+      s.classifier->path_batches(core::BatchPath::kScalarLoop);
+  r.path_phase2_batches =
+      s.classifier->path_batches(core::BatchPath::kPhase2);
+  r.path_phase2_memo_batches =
+      s.classifier->path_batches(core::BatchPath::kPhase2Memo);
+  for (usize p = 0; p < core::kNumBatchPaths; ++p) {
+    const auto path = static_cast<core::BatchPath>(p);
+    r.controller_models[p] = s.classifier->controller_model(path);
+    r.controller_observations[p] = s.classifier->controller_observations(path);
+  }
+  r.cache_misses = s.cache == nullptr ? 0 : s.cache->stats().misses;
+  r.min_version = s.classifier->min_version();
+  r.max_version = s.classifier->max_version();
+  r.version_monotonic = s.classifier->version_monotonic();
+  if (s.index < tel_.size() && tel_[s.index] != nullptr) {
+    const telemetry::WorkerTelemetry& t = *tel_[s.index];
+    r.trace_events_dropped = t.ring.dropped();
+    r.update_visibility_samples =
+        telemetry::counter_load(t.live.update_visibility_samples);
+    r.update_visibility_total_ns =
+        telemetry::counter_load(t.live.update_visibility_total_ns);
+    r.update_visibility_max_ns =
+        telemetry::counter_load(t.live.update_visibility_max_ns);
+  }
+  r.latency = s.sink->latency();
+  r.wall_seconds = threads_[s.owner]->wall_seconds;
+  r.error = threads_[s.owner]->error;
+  return r;
+}
+
+WorkerReport Engine::merge_shard_reports(
+    usize worker, const std::vector<const WorkerReport*>& rows) {
+  WorkerReport m;
+  m.worker = worker;
+  std::array<usize, core::kNumBatchPaths> fitted{};
+  bool first_version = true;
+  for (const WorkerReport* row : rows) {
+    const WorkerReport& r = *row;
+    m.batches += r.batches;
+    m.packets += r.packets;
+    m.matched += r.matched;
+    m.dropped += r.dropped;
+    m.parse_errors += r.parse_errors;
+    m.cache_hits += r.cache_hits;
+    m.cache_misses += r.cache_misses;
+    m.classifier_lookups += r.classifier_lookups;
+    m.memory_accesses += r.memory_accesses;
+    m.probe_memo_hits += r.probe_memo_hits;
+    m.probe_memo_invalidations += r.probe_memo_invalidations;
+    m.probe_memo_conflict_evictions += r.probe_memo_conflict_evictions;
+    m.path_scalar_loop_batches += r.path_scalar_loop_batches;
+    m.path_phase2_batches += r.path_phase2_batches;
+    m.path_phase2_memo_batches += r.path_phase2_memo_batches;
+    for (usize p = 0; p < core::kNumBatchPaths; ++p) {
+      m.controller_observations[p] += r.controller_observations[p];
+      if (r.controller_observations[p] == 0) continue;
+      m.controller_models[p].ns_per_packet +=
+          r.controller_models[p].ns_per_packet;
+      m.controller_models[p].ns_per_distinct_key +=
+          r.controller_models[p].ns_per_distinct_key;
+      ++fitted[p];
+    }
+    if (r.packets > 0 || r.max_version > 0 || r.min_version > 0) {
+      m.min_version = first_version ? r.min_version
+                                    : std::min(m.min_version, r.min_version);
+      m.max_version = std::max(m.max_version, r.max_version);
+      first_version = false;
+    }
+    m.version_monotonic = m.version_monotonic && r.version_monotonic;
+    m.trace_events_dropped += r.trace_events_dropped;
+    m.update_visibility_samples += r.update_visibility_samples;
+    m.update_visibility_total_ns += r.update_visibility_total_ns;
+    m.update_visibility_max_ns =
+        std::max(m.update_visibility_max_ns, r.update_visibility_max_ns);
+    m.latency.merge(r.latency);
+    m.wall_seconds = std::max(m.wall_seconds, r.wall_seconds);
+    if (m.error.empty()) m.error = r.error;
+  }
+  // Cost-model coefficients are per-shard fits, not additive: average
+  // over the shards that produced timed observations.
+  for (usize p = 0; p < core::kNumBatchPaths; ++p) {
+    if (fitted[p] == 0) continue;
+    m.controller_models[p].ns_per_packet /= static_cast<double>(fitted[p]);
+    m.controller_models[p].ns_per_distinct_key /=
+        static_cast<double>(fitted[p]);
+  }
+  return m;
+}
+
+WorkerReport Engine::combine_partition(
+    const std::vector<WorkerReport>& rows,
+    std::vector<CapturedVerdict>& combined) const {
+  // Work counters sum across shards (every shard genuinely spent that
+  // work probing its rule subset); the per-packet accounting below
+  // comes from the combined verdicts so no packet counts twice.
+  WorkerReport m = merge_shard_reports(0, [&] {
+    std::vector<const WorkerReport*> ptrs;
+    ptrs.reserve(rows.size());
+    for (const WorkerReport& r : rows) ptrs.push_back(&r);
+    return ptrs;
+  }());
+  m.batches = 0;
+  for (const WorkerReport& r : rows) m.batches += r.batches;
+  m.packets = 0;
+  m.matched = 0;
+  m.dropped = 0;
+  m.parse_errors = 0;
+  m.latency = LatencyHistogram{};
+
+  const usize n = shards_.empty() ? 0 : shards_[0]->captured.size();
+  for (const auto& sh : shards_) {
+    if (sh->captured.size() != n) {
+      // Index alignment is the combiner's contract (every shard drains
+      // its own full copy of the stream, in order); a mismatch means a
+      // shard died mid-stream — surface it rather than mis-combining.
+      if (m.error.empty()) {
+        m.error = "partition combine: shard " + std::to_string(sh->index) +
+                  " captured " + std::to_string(sh->captured.size()) +
+                  " verdicts, shard 0 captured " + std::to_string(n);
+      }
+      return m;
+    }
+  }
+  combined.clear();
+  combined.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    CapturedVerdict out = shards_[0]->captured[i];
+    bool any = false;
+    u64 max_cycles = 0;
+    u64 mem = 0;
+    u64 max_version = 0;
+    for (const auto& sh : shards_) {
+      const CapturedVerdict& cv = sh->captured[i];
+      max_cycles = std::max(max_cycles, cv.cycles);
+      max_version = std::max(max_version, cv.version);
+      mem += cv.memory_accesses;
+      if (!cv.matched) continue;
+      // LinearSearch's stable order: min (priority, rule id) wins.
+      if (!any || cv.priority < out.priority ||
+          (cv.priority == out.priority && cv.rule < out.rule)) {
+        out.matched = true;
+        out.rule = cv.rule;
+        out.priority = cv.priority;
+        out.action_token = cv.action_token;
+        any = true;
+      }
+    }
+    if (!any) {
+      out.matched = false;
+      out.rule = RuleId{};
+      out.priority = kNoPriority;
+      out.action_token = 0;
+    }
+    out.cycles = max_cycles;
+    out.memory_accesses = mem;
+    out.version = max_version;
+    combined.push_back(out);
+    ++m.packets;
+    if (out.matched) {
+      ++m.matched;
+    } else {
+      ++m.dropped;  // parse error or combined table miss: default drop
+    }
+    if (out.parse_error) ++m.parse_errors;
+    m.latency.record(max_cycles);
+  }
+  return m;
+}
+
 EngineReport Engine::collect() const {
   EngineReport rep;
   rep.wall_seconds = wall_seconds_;
-  for (usize i = 0; i < workers_.size(); ++i) {
-    const Worker& w = *workers_[i];
-    WorkerReport r;
-    r.worker = i;
-    r.batches = w.sink->batches();
-    r.packets = w.sink->packets();
-    r.matched = w.sink->matched();
-    r.dropped = w.sink->dropped();
-    r.parse_errors = w.parser->errors();
-    r.cache_hits = w.sink->cache_hits();
-    r.classifier_lookups = w.classifier->lookups();
-    r.memory_accesses = w.sink->memory_accesses();
-    r.probe_memo_hits = w.classifier->probe_memo_hits();
-    r.probe_memo_invalidations = w.classifier->probe_memo_invalidations();
-    r.probe_memo_conflict_evictions =
-        w.classifier->probe_memo_conflict_evictions();
-    r.path_scalar_loop_batches =
-        w.classifier->path_batches(core::BatchPath::kScalarLoop);
-    r.path_phase2_batches =
-        w.classifier->path_batches(core::BatchPath::kPhase2);
-    r.path_phase2_memo_batches =
-        w.classifier->path_batches(core::BatchPath::kPhase2Memo);
-    for (usize p = 0; p < core::kNumBatchPaths; ++p) {
-      const auto path = static_cast<core::BatchPath>(p);
-      r.controller_models[p] = w.classifier->controller_model(path);
-      r.controller_observations[p] = w.classifier->controller_observations(path);
+  std::vector<WorkerReport> shard_rows;
+  shard_rows.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    shard_rows.push_back(shard_report(*sh));
+  }
+  if (cfg_.shards == 0) {
+    // Legacy geometry: one shard per worker thread; the shard rows ARE
+    // the worker rows and `shards` stays empty.
+    rep.workers = std::move(shard_rows);
+  } else if (cfg_.shard_mode == ShardMode::kReplica) {
+    for (const auto& th : threads_) {
+      std::vector<const WorkerReport*> rows;
+      rows.reserve(th->shards.size());
+      for (const Shard* sh : th->shards) {
+        rows.push_back(&shard_rows[sh->index]);
+      }
+      WorkerReport m = merge_shard_reports(th->index, rows);
+      if (m.error.empty()) m.error = th->error;
+      m.wall_seconds = th->wall_seconds;
+      rep.workers.push_back(std::move(m));
     }
-    r.cache_misses = w.cache == nullptr ? 0 : w.cache->stats().misses;
-    r.min_version = w.classifier->min_version();
-    r.max_version = w.classifier->max_version();
-    r.version_monotonic = w.classifier->version_monotonic();
-    if (i < tel_.size() && tel_[i] != nullptr) {
-      const telemetry::WorkerTelemetry& t = *tel_[i];
-      r.trace_events_dropped = t.ring.dropped();
-      r.update_visibility_samples =
-          telemetry::counter_load(t.live.update_visibility_samples);
-      r.update_visibility_total_ns =
-          telemetry::counter_load(t.live.update_visibility_total_ns);
-      r.update_visibility_max_ns =
-          telemetry::counter_load(t.live.update_visibility_max_ns);
+    rep.shards = std::move(shard_rows);
+  } else {
+    WorkerReport m = combine_partition(shard_rows, rep.combined);
+    double wall = 0;
+    for (const auto& th : threads_) {
+      wall = std::max(wall, th->wall_seconds);
+      if (m.error.empty()) m.error = th->error;
     }
-    r.latency = w.sink->latency();
-    r.wall_seconds = w.wall_seconds;
-    r.error = w.error;
-    rep.workers.push_back(std::move(r));
+    m.wall_seconds = wall;
+    rep.workers.push_back(std::move(m));
+    rep.shards = std::move(shard_rows);
+  }
+  if (capture_enabled()) {
+    rep.captured.reserve(shards_.size());
+    for (const auto& sh : shards_) {
+      rep.captured.push_back(sh->captured);
+    }
   }
   rep.timeseries = timeseries_;
   rep.trace_events = trace_events_;

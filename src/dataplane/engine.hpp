@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dataplane/elements.hpp"
+#include "dataplane/flow_steer.hpp"
 #include "dataplane/rule_program.hpp"
 #include "dataplane/stats.hpp"
 #include "telemetry/live_stats.hpp"
@@ -103,6 +104,26 @@ struct EngineConfig {
   /// accounting stays exact) and are counted in
   /// EngineReport::trace_events_truncated. 0 = unlimited.
   usize trace_keep_limit = usize{1} << 15;
+  /// RSS-style sharding (0 = unsharded: the legacy geometry where every
+  /// worker thread drains the shared pool). With shards = S > 0 the
+  /// engine builds S shards — each owning its classifier subscription,
+  /// flow cache, probe memo, path controller, batch scratch and
+  /// telemetry block — pinned shard s -> worker thread s % workers
+  /// (workers is clamped to S).
+  usize shards = 0;
+  /// Replica: per-shard steered slices of the pool, full ruleset each.
+  /// Partition: per-shard full copy of the pool, disjoint rule subsets
+  /// (one publisher per shard via the multi-publisher constructor) and
+  /// a per-packet priority combiner — finite runs only.
+  ShardMode shard_mode = ShardMode::kReplica;
+  /// Symmetric steering hash: both directions of a flow land on the
+  /// same shard (replica mode's steering stage).
+  bool steer_symmetric = false;
+  /// Record every packet's verdict (arrival order, per shard) into
+  /// EngineReport::captured — the sharded differential fuzzer's hook.
+  /// Finite runs only; partition mode captures regardless (the
+  /// combiner needs the streams).
+  bool capture_verdicts = false;
   /// Test hook: invoked as (worker_index) once per batch iteration in
   /// worker_main before the pipeline runs. A throw propagates through
   /// the worker's normal exception capture into WorkerReport::error —
@@ -115,6 +136,12 @@ struct EngineConfig {
 class Engine {
  public:
   Engine(EngineConfig cfg, const RuleProgramPublisher& programs);
+  /// Partition-mode constructor: one publisher per shard (disjoint rule
+  /// subsets from partition_rules()). \p shard_programs.size() must
+  /// equal cfg.shards.
+  /// \throws ConfigError on a size mismatch or cfg.shards == 0.
+  Engine(EngineConfig cfg,
+         std::vector<const RuleProgramPublisher*> shard_programs);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -155,32 +182,77 @@ class Engine {
   }
 
  private:
-  struct Worker {
-    usize index = 0;
+  /// One pipeline's worth of state. The shard is the unit of ownership:
+  /// classifier subscription, flow cache, scratch (probe memo + path
+  /// controller), telemetry block and (when capturing) the verdict log
+  /// all live here, on the shard's own allocations. Unsharded engines
+  /// are the degenerate geometry of one shard per worker over a shared
+  /// pool.
+  struct Shard {
+    usize index = 0;   ///< shard id (== worker id when unsharded)
+    usize owner = 0;   ///< owning worker thread (index % thread count)
+    /// Owned per-shard pool (replica: steered slice; partition: full
+    /// copy). Unsharded shards drain the caller's pool instead.
+    TrafficPool pool;
+    TrafficPool* active_pool = nullptr;  ///< what the source drains
     Pipeline pipeline;
     PacketSource* source = nullptr;
     Parser* parser = nullptr;
     FlowCacheElement* cache = nullptr;
     ClassifierElement* classifier = nullptr;
     ActionSink* sink = nullptr;
+    /// In-arrival-order verdict log (capture_verdicts / partition).
+    std::vector<CapturedVerdict> captured;
+  };
+
+  /// An OS thread driving one or more shards round-robin.
+  struct WorkerThread {
+    usize index = 0;
+    std::vector<Shard*> shards;
     std::thread thread;
     double wall_seconds = 0;
     std::string error;  ///< exception text if the worker died
   };
 
-  void worker_main(Worker& w);
+  void worker_main(WorkerThread& w);
   EngineReport finish(bool signal_stop);
   [[nodiscard]] EngineReport collect() const;
+  /// WorkerReport for one shard's elements (worker = shard index).
+  [[nodiscard]] WorkerReport shard_report(const Shard& s) const;
+  /// Sum shard rows owned by one thread into a per-thread row
+  /// (replica mode's workers[] view).
+  [[nodiscard]] static WorkerReport merge_shard_reports(
+      usize worker, const std::vector<const WorkerReport*>& rows);
+  /// Partition mode: fold the S index-aligned capture streams into the
+  /// single combined workers[] row by min (priority, rule id) per
+  /// packet, emitting the combined verdict stream into \p combined.
+  [[nodiscard]] WorkerReport combine_partition(
+      const std::vector<WorkerReport>& rows,
+      std::vector<CapturedVerdict>& combined) const;
   /// Effective trace retention cap: 0 = not collecting, SIZE_MAX =
   /// collecting without a limit.
   [[nodiscard]] usize trace_keep() const;
+  /// Publisher feeding shard \p s (shared in unsharded/replica,
+  /// per-shard in partition).
+  [[nodiscard]] const RuleProgramPublisher& program_for(usize s) const {
+    return *programs_[programs_.size() == 1 ? 0 : s];
+  }
+  [[nodiscard]] bool capture_enabled() const {
+    return cfg_.capture_verdicts || (cfg_.shards > 0 &&
+                                     cfg_.shard_mode == ShardMode::kPartition);
+  }
 
   EngineConfig cfg_;
-  const RuleProgramPublisher* programs_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  /// Per-worker telemetry blocks (index-aligned with workers_; empty
+  /// Size 1 (unsharded / replica: every shard subscribes to the same
+  /// publisher) or cfg_.shards (partition: one per shard).
+  std::vector<const RuleProgramPublisher*> programs_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<WorkerThread>> threads_;
+  /// Per-shard telemetry blocks (index-aligned with shards_; empty
   /// when cfg_.telemetry is false). unique_ptr keeps each block at its
-  /// own cache-line-aligned allocation.
+  /// own cache-line-aligned allocation. Safe despite multi-shard
+  /// threads: exactly one thread owns each shard, so each block keeps a
+  /// single writer.
   std::vector<std::unique_ptr<telemetry::WorkerTelemetry>> tel_;
   std::unique_ptr<telemetry::StatsSampler> sampler_;
   std::vector<telemetry::StatsSample> timeseries_;

@@ -15,10 +15,29 @@
 
 #include "common/types.hpp"
 #include "core/path_controller.hpp"
+#include "net/five_tuple.hpp"
 #include "telemetry/sample.hpp"
 #include "telemetry/trace_ring.hpp"
 
 namespace pclass::dataplane {
+
+/// One packet's verdict as the ActionSink saw it, in arrival order
+/// (EngineConfig::capture_verdicts; partition mode records these
+/// unconditionally — the combiner consumes them). `version` is the
+/// rule-program snapshot the batch was classified against, which is
+/// what lets the sharded differential fuzzer check every verdict
+/// against a LinearSearch oracle built at exactly that version.
+struct CapturedVerdict {
+  net::FiveTuple tuple{};
+  bool parse_error = false;
+  bool matched = false;
+  RuleId rule{};
+  Priority priority = 0;
+  u32 action_token = 0;
+  u64 version = 0;        ///< batch's snapshot version
+  u64 cycles = 0;         ///< modelled lookup cycles for this packet
+  u64 memory_accesses = 0;
+};
 
 /// Log-linear histogram of per-packet lookup latency (in modelled
 /// device cycles): four sub-buckets per power of two (HDR-histogram
@@ -201,8 +220,32 @@ struct UpdateVisibility {
 };
 
 /// Whole-engine rollup.
+///
+/// `workers` is always the authoritative, double-count-free view: its
+/// per-counter sums are the engine totals whatever the shard geometry.
+/// Unsharded engines put one row per worker thread there (as always).
+/// Sharded replica engines put one *merged* row per worker thread
+/// (summing the disjoint shards that thread owns) and expose the raw
+/// per-shard rows in `shards`. Sharded partition engines — where every
+/// shard classifies the whole stream, so summing shard rows would count
+/// each packet S times — put a single combined row in `workers` (the
+/// combiner's true totals) and the raw per-shard rows in `shards`.
 struct EngineReport {
   std::vector<WorkerReport> workers;
+  /// Per-shard raw rows (WorkerReport::worker = shard index); empty for
+  /// unsharded engines. Replica invariant: sum(shards) == sum(workers).
+  std::vector<WorkerReport> shards;
+  /// Per-shard (or per-worker when unsharded) verdict streams, arrival
+  /// order; filled when EngineConfig::capture_verdicts is set or the
+  /// engine ran in partition mode.
+  std::vector<std::vector<CapturedVerdict>> captured;
+  /// Partition mode only: the combiner's per-packet output stream in
+  /// input order (index i is input packet i). `cycles` is the max over
+  /// the shards (parallel probe, wait-for-all) and `memory_accesses`
+  /// the sum (total modelled work); the verdict fields carry the
+  /// winning shard's min-(priority, rule) match. Empty outside
+  /// partition mode.
+  std::vector<CapturedVerdict> combined;
   double wall_seconds = 0;
   /// The StatsSampler's interval series (empty when
   /// EngineConfig::stats_interval_ms == 0). Invariant: per-counter

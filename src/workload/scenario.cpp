@@ -163,6 +163,44 @@ void verify_oracle(ScenarioResult& r, const RuleProgramPublisher& programs,
   }
 }
 
+/// Partition-mode oracle: the combined verdict stream is index-aligned
+/// with the trace (every shard drains its own full copy in input
+/// order), so packet i's combined verdict must equal LinearSearch over
+/// the union of the shard rulesets — which is the original ruleset, so
+/// partition mode is verdict-identical to unsharded by construction.
+void verify_partition(
+    ScenarioResult& r,
+    const std::vector<std::unique_ptr<RuleProgramPublisher>>& pubs,
+    const net::Trace& trace,
+    const std::vector<dataplane::CapturedVerdict>& combined) {
+  ruleset::RuleSet oracle_rules("oracle");
+  for (const auto& pub : pubs) {
+    const auto snap = pub->acquire();
+    for (const ruleset::Rule& rule : snap->classifier().installed_rules()) {
+      oracle_rules.add_verbatim(rule);
+    }
+  }
+  const baseline::LinearSearch oracle(oracle_rules);
+  if (combined.size() != trace.size()) {
+    if (r.error.empty()) {
+      r.error = "partition: combined stream length " +
+                std::to_string(combined.size()) + " != trace length " +
+                std::to_string(trace.size());
+    }
+    return;
+  }
+  for (usize i = 0; i < trace.size(); ++i) {
+    const ruleset::Rule* want = oracle.classify(trace[i].header, nullptr);
+    const dataplane::CapturedVerdict& cv = combined[i];
+    const bool agree = want == nullptr
+                           ? !cv.matched
+                           : cv.matched && cv.rule == want->id &&
+                                 cv.priority == want->priority;
+    ++r.oracle_checked;
+    if (!agree) ++r.oracle_mismatches;
+  }
+}
+
 /// Device configuration sized for the scenario (exact lookup mode).
 core::ClassifierConfig scenario_config(const ruleset::RuleSet& rules,
                                        usize extra_headroom,
@@ -177,25 +215,61 @@ core::ClassifierConfig scenario_config(const ruleset::RuleSet& rules,
   return cfg;
 }
 
+/// Engine geometry for a scenario (loop/shards vary per call site).
+EngineConfig engine_config(const ScenarioOptions& opts, WorkerBudget* budget,
+                           bool loop, usize shards) {
+  return {.workers = opts.workers,
+          .batch_size = opts.batch_size,
+          .flow_cache_depth = opts.flow_cache_depth,
+          .loop = loop,
+          .budget = budget,
+          .stats_interval_ms = opts.stats_interval_ms,
+          .collect_trace = opts.collect_trace,
+          .shards = shards,
+          .shard_mode = opts.shard_mode,
+          .steer_symmetric = opts.steer_symmetric};
+}
+
 /// Drain the trace once through the engine and collect stats + oracle.
 void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
                 WorkerBudget* budget, const ruleset::RuleSet& rules,
                 const net::Trace& trace) {
   r.rules = rules.size();
   r.trace_packets = trace.size();
-  RuleProgramPublisher programs(scenario_config(rules, 0, opts));
-  programs.install_ruleset(rules);
   TrafficPool pool =
       TrafficPool::from_trace(trace, /*materialize_packets=*/false);
-  Engine engine({.workers = opts.workers,
-                 .batch_size = opts.batch_size,
-                 .flow_cache_depth = opts.flow_cache_depth,
-                 .loop = false,
-                 .budget = budget,
-                 .stats_interval_ms = opts.stats_interval_ms,
-                 .collect_trace = opts.collect_trace},
-                programs);
-  fill_engine_stats(r, engine.run(pool));
+  const EngineConfig ecfg =
+      engine_config(opts, budget, /*loop=*/false, opts.shards);
+  if (opts.shards > 0 &&
+      opts.shard_mode == dataplane::ShardMode::kPartition) {
+    // Disjoint rule subsets, one publisher per shard; each config is
+    // sized for the full set so churny callers keep headroom.
+    const std::vector<ruleset::RuleSet> parts =
+        dataplane::partition_rules(rules, opts.shards);
+    std::vector<std::unique_ptr<RuleProgramPublisher>> pubs;
+    std::vector<const RuleProgramPublisher*> ptrs;
+    pubs.reserve(parts.size());
+    for (const ruleset::RuleSet& part : parts) {
+      pubs.push_back(std::make_unique<RuleProgramPublisher>(
+          scenario_config(rules, 0, opts)));
+      pubs.back()->install_ruleset(part);
+      ptrs.push_back(pubs.back().get());
+    }
+    Engine engine(ecfg, std::move(ptrs));
+    EngineReport rep = engine.run(pool);
+    r.shard_reports = rep.shards;
+    const std::vector<dataplane::CapturedVerdict> combined =
+        std::move(rep.combined);
+    fill_engine_stats(r, std::move(rep));
+    verify_partition(r, pubs, trace, combined);
+    return;
+  }
+  RuleProgramPublisher programs(scenario_config(rules, 0, opts));
+  programs.install_ruleset(rules);
+  Engine engine(ecfg, programs);
+  EngineReport rep = engine.run(pool);
+  r.shard_reports = rep.shards;
+  fill_engine_stats(r, std::move(rep));
   verify_oracle(r, programs, trace);
 }
 
@@ -307,13 +381,11 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts,
   const u64 version_before = programs.version();
   TrafficPool pool =
       TrafficPool::from_trace(trace, /*materialize_packets=*/false);
-  Engine engine({.workers = opts.workers,
-                 .batch_size = opts.batch_size,
-                 .flow_cache_depth = opts.flow_cache_depth,
-                 .loop = true,
-                 .budget = budget,
-                 .stats_interval_ms = opts.stats_interval_ms,
-                 .collect_trace = opts.collect_trace},
+  // Partition mode is finite-only (the combiner consumes bounded
+  // capture streams); the loop-mode storm falls back to unsharded.
+  const usize shards =
+      opts.shard_mode == dataplane::ShardMode::kPartition ? 0 : opts.shards;
+  Engine engine(engine_config(opts, budget, /*loop=*/true, shards),
                 programs);
   engine.start(pool);
   const auto t0 = std::chrono::steady_clock::now();
@@ -323,7 +395,11 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts,
   const double storm_secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  fill_engine_stats(r, engine.stop());
+  {
+    EngineReport rep = engine.stop();
+    r.shard_reports = rep.shards;
+    fill_engine_stats(r, std::move(rep));
+  }
 
   r.updates_applied = storm.schedule.size();
   r.updates_per_sec =
@@ -387,13 +463,11 @@ ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
   const u64 version_before = programs.version();
   TrafficPool pool =
       TrafficPool::from_trace(w.trace, /*materialize_packets=*/false);
-  Engine engine({.workers = opts.workers,
-                 .batch_size = opts.batch_size,
-                 .flow_cache_depth = opts.flow_cache_depth,
-                 .loop = true,
-                 .budget = budget,
-                 .stats_interval_ms = opts.stats_interval_ms,
-                 .collect_trace = opts.collect_trace},
+  // Partition is finite-only; the loop-mode storm falls back to
+  // unsharded (replica shards loop over their steered slices fine).
+  const usize shards =
+      opts.shard_mode == dataplane::ShardMode::kPartition ? 0 : opts.shards;
+  Engine engine(engine_config(opts, budget, /*loop=*/true, shards),
                 programs);
   engine.start(pool);
 
@@ -428,7 +502,11 @@ ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
   const double storm_secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  fill_engine_stats(r, engine.stop());
+  {
+    EngineReport rep = engine.stop();
+    r.shard_reports = rep.shards;
+    fill_engine_stats(r, std::move(rep));
+  }
 
   r.updates_applied = total_updates;
   r.updates_per_sec =
@@ -641,6 +719,10 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   j.key("parallel").value(opts.parallel);
   j.key("max_workers").value(opts.max_workers);
   j.key("stats_interval_ms").value(u64{opts.stats_interval_ms});
+  j.key("shards").value(opts.shards);
+  j.key("shard_mode").value(std::string(to_string(opts.shard_mode)));
+  j.key("steer_symmetric").value(opts.steer_symmetric);
+  j.key("steer_hash").value("mix64-5tuple");
   j.end_object();
   j.key("scenarios").begin_array();
   for (const ScenarioResult& r : results) {
@@ -730,6 +812,26 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
     }
     j.end_array();
     j.end_object();
+    j.key("shards").begin_array();
+    for (const dataplane::WorkerReport& s : r.shard_reports) {
+      j.begin_object();
+      j.key("shard").value(s.worker);
+      j.key("batches").value(s.batches);
+      j.key("packets").value(s.packets);
+      j.key("matched").value(s.matched);
+      j.key("dropped").value(s.dropped);
+      j.key("parse_errors").value(s.parse_errors);
+      j.key("cache_hits").value(s.cache_hits);
+      j.key("cache_misses").value(s.cache_misses);
+      j.key("classifier_lookups").value(s.classifier_lookups);
+      j.key("memory_accesses").value(s.memory_accesses);
+      j.key("probe_memo_hits").value(s.probe_memo_hits);
+      j.key("min_version").value(s.min_version);
+      j.key("max_version").value(s.max_version);
+      j.key("p99_cycles").value(s.latency.percentile(99));
+      j.end_object();
+    }
+    j.end_array();
     j.key("errors").begin_array();
     for (const std::string& e : r.worker_errors) {
       j.value(e);

@@ -19,6 +19,7 @@
 
 #include "core/config.hpp"
 #include "core/path_controller.hpp"
+#include "dataplane/flow_steer.hpp"
 #include "dataplane/stats.hpp"
 #include "net/packet_batch.hpp"
 #include "telemetry/sample.hpp"
@@ -83,6 +84,16 @@ struct ScenarioOptions {
   /// (--trace-out sets this; the events feed the chrome://tracing
   /// export, they are not embedded in the JSON report).
   bool collect_trace = false;
+  /// RSS-style shard count (--shards). 0 = unsharded (the legacy
+  /// geometry: every worker thread drains the shared pool).
+  usize shards = 0;
+  /// Replica: steered per-flow slices, full ruleset per shard.
+  /// Partition: full stream per shard, disjoint rule subsets + priority
+  /// combiner — finite scenarios only; the loop-mode update-storm
+  /// scenarios fall back to unsharded under partition (--shard-mode).
+  dataplane::ShardMode shard_mode = dataplane::ShardMode::kReplica;
+  /// Symmetric steering hash: both flow directions land on one shard.
+  bool steer_symmetric = false;
 };
 
 /// One scenario's measurement + verification outcome.
@@ -150,6 +161,10 @@ struct ScenarioResult {
   /// Per-worker errors ("worker N: what"), surfaced as the report's
   /// `errors` array (r.error carries the first one for ok()).
   std::vector<std::string> worker_errors;
+  /// Raw per-shard rows (EngineReport::shards; empty when the scenario
+  /// ran unsharded) — the report's `shards` array. Replica invariant:
+  /// per-counter sums equal the engine totals above.
+  std::vector<dataplane::WorkerReport> shard_reports;
 
   std::string error;  ///< non-empty when the scenario failed to run
 

@@ -10,6 +10,8 @@
 ///                   [--memo persistent|per-batch|off] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--workers N] [--batch B] [--cache DEPTH]
+///                   [--shards N] [--shard-mode replica|partition]
+///                   [--steer-symmetric]
 ///                   [--stats-interval-ms N] [--trace-out FILE]
 ///                   [--metrics-out FILE]
 ///
@@ -20,7 +22,12 @@
 /// background StatsSampler, --trace-out writes per-batch spans as
 /// chrome://tracing JSON (one track per worker) and --metrics-out dumps
 /// end-of-run counters in Prometheus text format. All three require
-/// --workers.
+/// --workers, as do the sharding knobs: --shards N steers packets to N
+/// RSS-style shards by 5-tuple flow hash (--steer-symmetric
+/// canonicalizes endpoint order so both flow directions co-locate);
+/// --shard-mode partition instead splits the ruleset into disjoint
+/// per-shard subsets whose verdicts a combiner merges by best
+/// (priority, rule id) — verdict-identical to the unsharded run.
 ///
 /// --batch-mode selects how batches run phase 2 (the A/B knob): scalar
 /// = packet-at-a-time, phase2 = sorted-key batch engine. It applies to
@@ -39,6 +46,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,6 +58,7 @@
 #include "core/classifier.hpp"
 #include "core/cycle_model.hpp"
 #include "dataplane/engine.hpp"
+#include "dataplane/flow_steer.hpp"
 #include "net/trace.hpp"
 #include "ruleset/classbench.hpp"
 #include "telemetry/export.hpp"
@@ -66,10 +75,12 @@ int usage() {
                "                       [--path-policy "
                "adaptive|phase2|scalar-loop] "
                "[--workers N [--batch B] [--cache DEPTH]\n"
+               "                        [--shards N] [--shard-mode "
+               "replica|partition] [--steer-symmetric]\n"
                "                        [--stats-interval-ms N] "
                "[--trace-out FILE] [--metrics-out FILE]]\n"
-               "(--batch/--cache and the telemetry flags configure the "
-               "dataplane engine and require --workers)\n";
+               "(--batch/--cache, the shard knobs and the telemetry flags "
+               "configure the dataplane engine and require --workers)\n";
   return 2;
 }
 
@@ -106,19 +117,40 @@ struct TelemetryOut {
 /// Dataplane-engine path: the whole trace, batched, across N workers.
 int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
                core::ClassifierConfig cfg, usize workers, usize batch,
-               u32 cache_depth, bool verify, const TelemetryOut& tout) {
+               u32 cache_depth, usize shards, dataplane::ShardMode shard_mode,
+               bool steer_symmetric, bool verify, const TelemetryOut& tout) {
   dataplane::RuleProgramPublisher programs(cfg);
   const hw::UpdateStats load = programs.install_ruleset(rules);
   dataplane::TrafficPool pool =
       dataplane::TrafficPool::from_trace(trace, /*materialize=*/false);
 
-  dataplane::Engine engine(
-      {.workers = workers,
-       .batch_size = batch,
-       .flow_cache_depth = cache_depth,
-       .stats_interval_ms = tout.stats_interval_ms,
-       .collect_trace = !tout.trace_path.empty()},
-      programs);
+  const dataplane::EngineConfig ecfg{
+      .workers = workers,
+      .batch_size = batch,
+      .flow_cache_depth = cache_depth,
+      .stats_interval_ms = tout.stats_interval_ms,
+      .collect_trace = !tout.trace_path.empty(),
+      .shards = shards,
+      .shard_mode = shard_mode,
+      .steer_symmetric = steer_symmetric};
+  // Partition mode: disjoint rule subsets, one publisher per shard
+  // (the full-ruleset publisher above keeps serving --verify).
+  std::vector<std::unique_ptr<dataplane::RuleProgramPublisher>> part_pubs;
+  std::vector<const dataplane::RuleProgramPublisher*> part_ptrs;
+  if (shards > 0 && shard_mode == dataplane::ShardMode::kPartition) {
+    for (const ruleset::RuleSet& part :
+         dataplane::partition_rules(rules, shards)) {
+      part_pubs.push_back(
+          std::make_unique<dataplane::RuleProgramPublisher>(cfg));
+      part_pubs.back()->install_ruleset(part);
+      part_ptrs.push_back(part_pubs.back().get());
+    }
+  }
+  const std::unique_ptr<dataplane::Engine> eng =
+      part_ptrs.empty()
+          ? std::make_unique<dataplane::Engine>(ecfg, programs)
+          : std::make_unique<dataplane::Engine>(ecfg, std::move(part_ptrs));
+  dataplane::Engine& engine = *eng;
   // The engine clamps degenerate values (0 workers/batch); report the
   // effective geometry, not the requested one.
   workers = engine.config().workers;
@@ -141,6 +173,19 @@ int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
   }
   t.print(std::cout);
 
+  if (!rep.shards.empty()) {
+    TextTable st({"shard", "packets", "matched", "cache hit%", "p50 cyc",
+                  "p99 cyc"});
+    for (const auto& s : rep.shards) {
+      st.add_row({std::to_string(s.worker), std::to_string(s.packets),
+                  std::to_string(s.matched),
+                  TextTable::num(s.cache_hit_rate() * 100.0, 1),
+                  std::to_string(s.latency.percentile(50)),
+                  std::to_string(s.latency.percentile(99))});
+    }
+    st.print(std::cout);
+  }
+
   const auto lat = rep.merged_latency();
   u64 memo_hits = 0, memo_inval = 0, b_scalar = 0, b_p2 = 0, b_p2m = 0;
   for (const auto& w : rep.workers) {
@@ -154,6 +199,12 @@ int run_engine(const ruleset::RuleSet& rules, const net::Trace& trace,
   a.add_row({"engine", std::to_string(workers) + " workers x batch " +
                            std::to_string(batch) + " (" +
                            to_string(cfg.batch_mode) + ")"});
+  if (shards > 0) {
+    a.add_row({"shards", std::to_string(shards) + " (" +
+                             std::string(to_string(shard_mode)) +
+                             (steer_symmetric ? ", symmetric steering)"
+                                              : ")")});
+  }
   a.add_row({"probe memo hits", std::to_string(memo_hits) + " (" +
                                     std::to_string(memo_inval) +
                                     " invalidations)"});
@@ -267,6 +318,9 @@ int main(int argc, char** argv) {
   usize workers = 0;  // 0 = classic single-threaded loop
   usize batch = net::kDefaultBatchCapacity;
   u32 cache_depth = 0;
+  usize shards = 0;
+  dataplane::ShardMode shard_mode = dataplane::ShardMode::kReplica;
+  bool steer_symmetric = false;
   TelemetryOut tout;
   u64 n = 0;
   for (int i = 3; i < argc; ++i) {
@@ -284,6 +338,16 @@ int main(int argc, char** argv) {
         return usage();
       }
       cache_depth = static_cast<u32>(n);
+    } else if (flag == "--shards" && i + 1 < argc) {
+      if (!parse_count(argv[++i], n)) return usage();
+      shards = static_cast<usize>(n);
+    } else if (flag == "--shard-mode" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "replica") shard_mode = dataplane::ShardMode::kReplica;
+      else if (v == "partition") shard_mode = dataplane::ShardMode::kPartition;
+      else return usage();
+    } else if (flag == "--steer-symmetric") {
+      steer_symmetric = true;
     } else if (flag == "--alg" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "mbt") alg = core::IpAlgorithm::kMbt;
@@ -344,6 +408,11 @@ int main(int argc, char** argv) {
                  "require the dataplane engine (--workers N)\n";
     return usage();
   }
+  if (workers == 0 && (shards > 0 || steer_symmetric)) {
+    std::cerr << "error: --shards/--shard-mode/--steer-symmetric require "
+                 "the dataplane engine (--workers N)\n";
+    return usage();
+  }
 
   try {
     std::ifstream rf(argv[1]);
@@ -367,7 +436,7 @@ int main(int argc, char** argv) {
 
     if (workers > 0) {
       return run_engine(rules, trace, cfg, workers, batch, cache_depth,
-                        verify, tout);
+                        shards, shard_mode, steer_symmetric, verify, tout);
     }
     if (cache_depth != 0) {
       std::cerr << "note: --cache configures the dataplane engine "

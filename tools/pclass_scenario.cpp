@@ -14,6 +14,8 @@
 ///                   [--batch-mode scalar|phase2]
 ///                   [--memo persistent|per-batch] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
+///                   [--shards N] [--shard-mode replica|partition]
+///                   [--steer-symmetric]
 ///                   [--save-workloads DIR] [--load-workloads DIR]
 ///                   [--stats-interval-ms N] [--trace-out FILE]
 ///                   [--metrics-out FILE]
@@ -37,6 +39,15 @@
 /// parallel run never oversubscribes the host with scenarios x workers
 /// threads. --memo-ways selects the probe memo's associativity (2 =
 /// set-associative default, 1 = the direct-mapped A/B reference).
+///
+/// --shards N runs every scenario's engine as N RSS-style shards, each
+/// owning its classifier replica, flow cache and probe memo.
+/// --shard-mode replica (default) steers the trace per-flow across full
+/// ruleset replicas; partition deals the rules round-robin into
+/// disjoint per-shard subsets and re-combines verdicts by (priority,
+/// rule id) — finite scenarios only (the update-storm scenarios fall
+/// back to unsharded under partition). --steer-symmetric makes both
+/// directions of a flow land on the same shard.
 ///
 /// --save-workloads writes each scenario's synthesized ruleset/trace as
 /// versioned PCR1/PCT1 binaries; --load-workloads replays them instead
@@ -67,6 +78,8 @@ int usage() {
                "[--batch-mode scalar|phase2] "
                "[--memo persistent|per-batch] [--memo-ways 1|2] "
                "[--path-policy adaptive|phase2|scalar-loop] "
+               "[--shards N] [--shard-mode replica|partition] "
+               "[--steer-symmetric] "
                "[--save-workloads DIR] [--load-workloads DIR] "
                "[--stats-interval-ms N] [--trace-out FILE] "
                "[--metrics-out FILE]\n";
@@ -184,6 +197,16 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (flag == "--shards" && i + 1 < argc) {
+      // 0 = unsharded (the default geometry).
+      if (!parse_count(argv[++i], n) || n > 256) return usage();
+      opts.shards = static_cast<usize>(n);
+    } else if (flag == "--shard-mode" && i + 1 < argc) {
+      const auto mode = dataplane::parse_shard_mode(argv[++i]);
+      if (!mode) return usage();
+      opts.shard_mode = *mode;
+    } else if (flag == "--steer-symmetric") {
+      opts.steer_symmetric = true;
     } else if (flag == "--parallel" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || n > 64) return usage();
       opts.parallel = static_cast<usize>(n);

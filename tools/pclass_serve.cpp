@@ -14,7 +14,13 @@
 ///                [--stats-interval-ms N] [--batch-mode scalar|phase2]
 ///                [--memo persistent|per-batch|off] [--memo-ways 1|2]
 ///                [--path-policy adaptive|phase2|scalar-loop]
+///                [--shards N] [--steer-symmetric]
 ///                [--report FILE] [--version]
+///
+/// --shards N serves the loop with N RSS-style replica shards (per-flow
+/// steered slices, one classifier replica + flow cache + probe memo
+/// per shard); `read stats` then reports one row per shard. Partition
+/// mode is finite-only and rejected here.
 ///
 /// Rule/trace files may be ClassBench text or the versioned PCR1/PCT1
 /// binaries (sniffed by magic). Once serving, the first stdout line is
@@ -63,6 +69,7 @@ int usage() {
          "                    [--memo persistent|per-batch|off] "
          "[--memo-ways 1|2]\n"
          "                    [--path-policy adaptive|phase2|scalar-loop]\n"
+         "                    [--shards N] [--steer-symmetric]\n"
          "                    [--report FILE] [--version]\n"
          "(rules/trace: ClassBench text or PCR1/PCT1 binaries, sniffed)\n";
   return 2;
@@ -173,6 +180,26 @@ void write_report(std::ostream& os, const dataplane::EngineReport& rep,
   }
   j.end_array();
 
+  // Raw per-shard rows (empty unsharded); workers[] above stays the
+  // authoritative double-count-free view.
+  j.key("shards").begin_array();
+  for (const auto& s : rep.shards) {
+    j.begin_object();
+    j.key("shard").value(static_cast<u64>(s.worker));
+    j.key("packets").value(s.packets);
+    j.key("batches").value(s.batches);
+    j.key("matched").value(s.matched);
+    j.key("dropped").value(s.dropped);
+    j.key("cache_hits").value(s.cache_hits);
+    j.key("classifier_lookups").value(s.classifier_lookups);
+    j.key("memory_accesses").value(s.memory_accesses);
+    j.key("probe_memo_hits").value(s.probe_memo_hits);
+    j.key("p50_cycles").value(s.latency.percentile(50));
+    j.key("p99_cycles").value(s.latency.percentile(99));
+    j.end_object();
+  }
+  j.end_array();
+
   j.key("totals").begin_object();
   j.key("packets").value(rep.packets());
   j.key("batches").value(batches);
@@ -232,6 +259,8 @@ int main(int argc, char** argv) {
   bool probe_memo = true;
   bool memo_persistent = true;
   u32 memo_ways = 2;
+  usize shards = 0;
+  bool steer_symmetric = false;
 
   u64 n = 0;
   for (int i = 1; i < argc; ++i) {
@@ -280,6 +309,14 @@ int main(int argc, char** argv) {
     } else if (flag == "--memo-ways" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || (n != 1 && n != 2)) return usage();
       memo_ways = static_cast<u32>(n);
+    } else if (flag == "--shards" && i + 1 < argc) {
+      // 0 = unsharded. Replica mode only: partition is finite-only
+      // (its combiner consumes bounded capture streams) and the serve
+      // loop never ends.
+      if (!parse_count(argv[++i], n) || n > 256) return usage();
+      shards = static_cast<usize>(n);
+    } else if (flag == "--steer-symmetric") {
+      steer_symmetric = true;
     } else if (flag == "--path-policy" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "adaptive") path_policy = core::PathPolicy::kAdaptive;
@@ -323,7 +360,10 @@ int main(int argc, char** argv) {
                               .batch_size = batch,
                               .flow_cache_depth = cache_depth,
                               .loop = true,
-                              .stats_interval_ms = stats_interval_ms},
+                              .stats_interval_ms = stats_interval_ms,
+                              .shards = shards,
+                              .shard_mode = dataplane::ShardMode::kReplica,
+                              .steer_symmetric = steer_symmetric},
                              programs);
     workers = engine.config().workers;
 
@@ -347,7 +387,7 @@ int main(int argc, char** argv) {
     std::cout << "READY endpoint=" << server.endpoint()
               << " pid=" << ::getpid() << " version=" << programs.version()
               << " rules=" << programs.acquire()->rule_count()
-              << " workers=" << workers << "\n"
+              << " workers=" << workers << " shards=" << shards << "\n"
               << std::flush;
 
     while (!g_stop.load(std::memory_order_relaxed)) {
