@@ -32,8 +32,14 @@
 /// zipf shapes. Exits nonzero when the on-leg costs more than 3% Mpps —
 /// the "near-zero-cost" contract CI enforces.
 ///
+/// --supervisor-gate is the same A/B harness pointed at the robustness
+/// plane (PR 9): supervisor off vs supervisor on (heartbeats, watchdog
+/// thread, restart bookkeeping) with an armed empty-plan FaultInjector
+/// — the drained-plan fast path every supervised production run pays.
+/// Same shapes, same interleaved best-of-N, same 3% Mpps budget.
+///
 /// Usage: bench_batch_ablation [--packets N] [--load-workloads DIR]
-///                             [--telemetry-gate]
+///                             [--telemetry-gate] [--supervisor-gate]
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -43,6 +49,7 @@
 #include "bench_util.hpp"
 #include "common/parse.hpp"
 #include "dataplane/engine.hpp"
+#include "fault/fault.hpp"
 #include "net/packet_batch.hpp"
 #include "workload/binio.hpp"
 
@@ -181,12 +188,84 @@ int run_telemetry_gate(const std::vector<Shape>& shapes, usize reps,
   return 0;
 }
 
+/// One timed engine pass for the supervisor gate: the same pinned
+/// geometry as the telemetry gate (telemetry itself off in both legs,
+/// so the delta isolates the robustness plane), baseline vs supervisor
+/// enabled with an armed empty-plan FaultInjector — heartbeat stores,
+/// the per-sweep injector fast path, and a live watchdog thread.
+double supervisor_leg_mpps(const dataplane::RuleProgramPublisher& programs,
+                           const net::Trace& trace, bool supervised) {
+  dataplane::TrafficPool pool =
+      dataplane::TrafficPool::from_trace(trace, /*materialize=*/false);
+  fault::FaultInjector injector{fault::FaultPlan{}};
+  dataplane::EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.flow_cache_depth = 0;
+  cfg.telemetry = false;
+  if (supervised) {
+    cfg.fault_injector = &injector;
+    cfg.supervisor.enabled = true;  // defaults: the shipping knobs
+  }
+  dataplane::Engine engine(cfg, programs);
+  const dataplane::EngineReport rep = engine.run(pool);
+  return rep.aggregate_mpps();
+}
+
+/// The supervisor overhead gate: same interleaved best-of-\p reps
+/// protocol as the telemetry gate, same budget.
+int run_supervisor_gate(const std::vector<Shape>& shapes, usize reps,
+                        double max_overhead) {
+  bool ok = true;
+  TextTable t({"shape", "off Mpps", "on Mpps", "overhead", "budget"});
+  for (const Shape& shape : shapes) {
+    core::ClassifierConfig cfg =
+        core::ClassifierConfig::for_scale(shape.w.rules.size());
+    cfg.combine_mode = core::CombineMode::kCrossProduct;
+    cfg.batch_path_policy = core::PathPolicy::kForcePhase2;
+    dataplane::RuleProgramPublisher programs(cfg);
+    programs.install_ruleset(shape.w.rules);
+
+    (void)supervisor_leg_mpps(programs, shape.w.trace, false);
+    (void)supervisor_leg_mpps(programs, shape.w.trace, true);
+    double best_off = 0;
+    double best_on = 0;
+    for (usize r = 0; r < reps; ++r) {
+      best_off = std::max(best_off,
+                          supervisor_leg_mpps(programs, shape.w.trace, false));
+      best_on = std::max(best_on,
+                         supervisor_leg_mpps(programs, shape.w.trace, true));
+    }
+    const double overhead =
+        best_off <= 0 ? 0.0 : (best_off - best_on) / best_off;
+    if (overhead > max_overhead) ok = false;
+    t.add_row({shape.name, TextTable::num(best_off, 3),
+               TextTable::num(best_on, 3),
+               TextTable::num(overhead * 100, 2) + "%",
+               TextTable::num(max_overhead * 100, 0) + "%"});
+  }
+  header("Supervisor overhead gate",
+         "1 worker, phase2 pinned, flow cache off, empty fault plan, "
+         "best of " +
+             std::to_string(reps) + " interleaved reps per leg.");
+  t.print(std::cout);
+  if (!ok) {
+    std::cerr << "FAIL: supervisor overhead exceeds the "
+              << max_overhead * 100 << "% Mpps budget\n";
+    return 1;
+  }
+  std::cout << "OK: supervisor (heartbeats + watchdog + armed empty-plan "
+               "injector) within the "
+            << max_overhead * 100 << "% Mpps budget\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   usize packets = 20'000;
   bool packets_set = false;
   bool telemetry_gate = false;
+  bool supervisor_gate = false;
   std::string load_dir;
   u64 n = 0;
   for (int i = 1; i < argc; ++i) {
@@ -194,7 +273,8 @@ int main(int argc, char** argv) {
     if (flag == "--packets" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || n == 0 || n > 10'000'000) {
         std::cerr << "usage: bench_batch_ablation [--packets N] "
-                     "[--load-workloads DIR] [--telemetry-gate]\n";
+                     "[--load-workloads DIR] [--telemetry-gate] "
+                     "[--supervisor-gate]\n";
         return 2;
       }
       packets = static_cast<usize>(n);
@@ -203,15 +283,18 @@ int main(int argc, char** argv) {
       load_dir = argv[++i];
     } else if (flag == "--telemetry-gate") {
       telemetry_gate = true;
+    } else if (flag == "--supervisor-gate") {
+      supervisor_gate = true;
     } else {
       std::cerr << "usage: bench_batch_ablation [--packets N] "
-                   "[--load-workloads DIR] [--telemetry-gate]\n";
+                   "[--load-workloads DIR] [--telemetry-gate] "
+                   "[--supervisor-gate]\n";
       return 2;
     }
   }
   // Gate legs are whole-engine runs; they need enough packets for the
   // wall clock to dominate thread start/join noise.
-  if (telemetry_gate && !packets_set) packets = 200'000;
+  if ((telemetry_gate || supervisor_gate) && !packets_set) packets = 200'000;
   std::vector<Shape> shapes;
   if (!load_dir.empty()) {
     // Byte-identical replay of the scenario runner's saved workloads
@@ -245,11 +328,16 @@ int main(int argc, char** argv) {
     shapes.push_back({"cache-thrash", std::move(w)});
   }
 
-  if (telemetry_gate) {
+  if (telemetry_gate || supervisor_gate) {
     // fw-like + zipf only: cache-thrash's engineered anti-locality
     // makes its single-run variance swamp a 3% budget.
     shapes.resize(2);
-    return run_telemetry_gate(shapes, /*reps=*/7, /*max_overhead=*/0.03);
+    if (telemetry_gate) {
+      const int rc =
+          run_telemetry_gate(shapes, /*reps=*/7, /*max_overhead=*/0.03);
+      if (rc != 0 || !supervisor_gate) return rc;
+    }
+    return run_supervisor_gate(shapes, /*reps=*/7, /*max_overhead=*/0.03);
   }
 
   bool ok = true;

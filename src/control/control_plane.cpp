@@ -566,6 +566,17 @@ std::string ControlPlane::stats_json() {
   w.key("steer_symmetric").value(ecfg.steer_symmetric);
   w.end_object();
 
+  // Supervisor rollup (all-zero when the supervisor is off): live reads
+  // of the watchdog's counters, scrapeable mid-run.
+  const dataplane::SupervisorStatus ss = engine_.supervisor_status();
+  w.key("supervisor").begin_object();
+  w.key("enabled").value(ss.enabled);
+  w.key("worker_restarts").value(ss.worker_restarts);
+  w.key("stall_detections").value(ss.stall_detections);
+  w.key("shards_reassigned").value(ss.shards_reassigned);
+  w.key("workers_failed").value(ss.workers_failed);
+  w.end_object();
+
   // Per-worker running totals straight off the live atomics, plus the
   // engine-wide sums the CI reconcile compares against report totals.
   u64 tot_packets = 0;
@@ -734,6 +745,25 @@ std::string ControlPlane::metrics_text() {
   mw.counter("pclass_publisher_grace_spins_total",
              "Yields spent waiting for readers to drain.", {},
              static_cast<double>(pstats.grace_spins));
+
+  {
+    const dataplane::SupervisorStatus ss = engine_.supervisor_status();
+    mw.gauge("pclass_supervisor_enabled",
+             "1 when the engine watchdog supervises workers.", {},
+             ss.enabled ? 1.0 : 0.0);
+    mw.counter("pclass_supervisor_worker_restarts_total",
+               "Dead workers respawned by the watchdog.", {},
+               static_cast<double>(ss.worker_restarts));
+    mw.counter("pclass_supervisor_stall_detections_total",
+               "Heartbeat-stall episodes the watchdog observed.", {},
+               static_cast<double>(ss.stall_detections));
+    mw.counter("pclass_supervisor_shards_reassigned_total",
+               "Shards taken over from permanently failed workers.", {},
+               static_cast<double>(ss.shards_reassigned));
+    mw.gauge("pclass_supervisor_workers_failed",
+             "Workers permanently failed (restart budget spent).", {},
+             static_cast<double>(ss.workers_failed));
+  }
 
   mw.counter("pclass_socket_updates_accepted_total",
              "Rule/set updates accepted over the control socket.", {},

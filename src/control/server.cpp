@@ -334,7 +334,13 @@ bool ControlServer::handle_line(const std::shared_ptr<Connection>& conn,
   // Any request from a streaming client ends its stream first (the
   // terminal record precedes this request's response).
   end_subscription(*conn, "superseded");
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const u64 request_index =
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.drop_request_hook && cfg_.drop_request_hook(request_index)) {
+    // Injected mid-request connection drop: hang up before any response
+    // byte, exactly like a server crash between accept and reply.
+    return false;
+  }
   const std::string& verb = tokens[0];
 
   if (verb == "quit") {

@@ -36,6 +36,13 @@ struct ServerConfig {
   u16 tcp_port = 0;        ///< 0 = ephemeral (tests); port() reports it
   std::string unix_path;   ///< non-empty: Unix socket, tcp_* ignored
   usize max_connections = 64;  ///< excess accepts get 503 + close
+  /// Fault-injection hook: called with each request's index (the
+  /// requests_served counter value); returning true makes the server
+  /// close the connection without sending a byte of response — the
+  /// mid-request drop pclass_ctl.py's retry path is tested against.
+  /// Point at fault::FaultInjector::should_drop_request. nullptr in
+  /// production.
+  std::function<bool(u64)> drop_request_hook;
 };
 
 /// How the server attaches a streaming subscriber to the stats feed.

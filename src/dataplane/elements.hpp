@@ -84,6 +84,14 @@ class TrafficPool {
   /// Rewind the claim cursor (e.g. between bench phases).
   void reset() { cursor_.store(0, std::memory_order_relaxed); }
 
+  /// Entries claimed off a finite pool so far. The raw cursor
+  /// overshoots the pool size (fill() claims a whole batch's worth and
+  /// discovers exhaustion after), so clamp — the conservation ledger's
+  /// "claimed" side (shed = size() - claimed()). Meaningless with loop.
+  [[nodiscard]] u64 claimed() const {
+    return std::min<u64>(cursor_.load(std::memory_order_relaxed), size());
+  }
+
   /// Entry views for the flow-steering split (one of the two is always
   /// empty — a pool serves a single entry kind).
   [[nodiscard]] const std::vector<net::FiveTuple>& tuples() const {

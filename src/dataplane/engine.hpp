@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "dataplane/flow_steer.hpp"
 #include "dataplane/rule_program.hpp"
 #include "dataplane/stats.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/live_stats.hpp"
 #include "telemetry/sampler.hpp"
 
@@ -39,6 +41,12 @@ namespace pclass::dataplane {
 /// what keeps a capped parallel run's reports identical to the
 /// sequential run's. A request larger than the capacity is clamped to
 /// it (the engine runs at the cap instead of deadlocking).
+///
+/// Grants are FIFO by arrival: each acquire() takes a ticket and is
+/// served strictly in ticket order (head-of-line blocking is the
+/// point — a large request at the head is never starved by a stream of
+/// small ones slipping past it), so many-scenario runs are
+/// starvation-free by construction.
 ///
 /// Thread-safe. An engine holds its grant from start() until the last
 /// worker joined, so peak_in_use() is a high-water mark of concurrent
@@ -59,6 +67,9 @@ class WorkerBudget {
   [[nodiscard]] usize in_use() const;
   /// High-water mark of concurrently-granted slots since construction.
   [[nodiscard]] usize peak_in_use() const;
+  /// Acquirers whose ticket has not been served yet (the queue depth,
+  /// including the head waiting for capacity).
+  [[nodiscard]] usize waiting() const;
 
  private:
   mutable std::mutex mu_;
@@ -66,6 +77,30 @@ class WorkerBudget {
   usize capacity_;
   usize in_use_ = 0;
   usize peak_ = 0;
+  u64 next_ticket_ = 0;  ///< next ticket to hand out
+  u64 serving_ = 0;      ///< lowest ticket not yet granted
+};
+
+/// Engine self-healing policy (the watchdog; see docs/ROBUSTNESS.md).
+/// Off by default: the legacy contract — a worker that throws is
+/// reported dead in WorkerReport::error and its traffic is lost —
+/// stays intact, and worker_main keeps its untouched fast path.
+struct SupervisorConfig {
+  bool enabled = false;
+  /// Watchdog scan period.
+  u64 watchdog_interval_ms = 20;
+  /// A worker whose heartbeat has not advanced for this long counts as
+  /// one stall episode (counted once; it re-arms when the heartbeat
+  /// moves again). Stalled workers are not killed — a C++ thread can't
+  /// be — they are expected to resume or exit.
+  u64 stall_deadline_ms = 500;
+  /// Times a dead worker is respawned before it is declared
+  /// permanently failed (and, in replica mode, its shards handed to a
+  /// survivor).
+  usize max_restarts = 2;
+  /// First restart back-off; doubles per restart. Abort-aware (a
+  /// stop()/drain cancels the wait).
+  u64 restart_backoff_ms = 10;
 };
 
 /// Engine geometry and policy.
@@ -130,6 +165,23 @@ struct EngineConfig {
   /// how the error-surfacing tests inject a worker fault. nullptr in
   /// production.
   std::function<void(usize)> worker_fault_hook;
+  /// Seeded fault-injection plane: consulted once per worker sweep
+  /// (throw/stall events). Borrowed — must outlive the run. start()
+  /// wires the injector's abort flag to the engine stop signal so
+  /// injected stalls cancel on drain/shutdown. nullptr in production.
+  fault::FaultInjector* fault_injector = nullptr;
+  /// Self-healing supervisor (heartbeats + watchdog + bounded restarts
+  /// + replica-mode shard takeover). See SupervisorConfig.
+  SupervisorConfig supervisor;
+};
+
+/// Live view of the supervisor's counters (readable while running).
+struct SupervisorStatus {
+  bool enabled = false;
+  u64 worker_restarts = 0;
+  u64 stall_detections = 0;
+  u64 shards_reassigned = 0;
+  u64 workers_failed = 0;  ///< permanently failed (post-retry)
 };
 
 /// Multi-worker batched dataplane runtime.
@@ -157,8 +209,18 @@ class Engine {
   /// Signal, join and report. Idempotent once stopped.
   EngineReport stop();
 
+  /// Join a start()ed finite run WITHOUT raising the stop flag: blocks
+  /// until the run concludes — every packet delivered or explicitly
+  /// shed, all supervisor restarts/takeovers resolved — then reports.
+  /// The chaos path: start(), stream updates (some injected to fail),
+  /// wait(). \throws ConfigError in loop mode (nothing concludes).
+  EngineReport wait();
+
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+  /// Supervisor counters, live (relaxed atomics; safe while running).
+  [[nodiscard]] SupervisorStatus supervisor_status() const;
 
   // ---- control-surface attach points (PR 7) ----
   // The live-introspection plane reads the running engine without
@@ -203,18 +265,51 @@ class Engine {
     ActionSink* sink = nullptr;
     /// In-arrival-order verdict log (capture_verdicts / partition).
     std::vector<CapturedVerdict> captured;
+    /// Set by the owning worker once the shard's source ran dry. Owner-
+    /// written, watchdog-read: it is what survives a worker restart or
+    /// a takeover (the local done[] bookkeeping dies with the thread).
+    std::atomic<bool> drained{false};
   };
 
   /// An OS thread driving one or more shards round-robin.
   struct WorkerThread {
     usize index = 0;
+    /// Owned shards. Stable unless the supervisor is enabled, in which
+    /// case mu guards it (the watchdog reassigns shards on takeover and
+    /// the worker copies the list per sweep).
     std::vector<Shard*> shards;
     std::thread thread;
     double wall_seconds = 0;
-    std::string error;  ///< exception text if the worker died
+    std::string error;  ///< exception text if the (last) incarnation died
+    // ---- supervisor state (PR 9) ----
+    mutable std::mutex mu;          ///< guards `shards` when supervised
+    std::atomic<u64> heartbeat{0};  ///< one tick per sweep (stall detect)
+    std::atomic<u64> sweeps{0};     ///< persistent sweep counter (injector)
+    std::atomic<bool> exited{false};  ///< thread function returned
+    std::atomic<u64> restarts{0};   ///< respawns performed by the watchdog
+    std::atomic<u64> stalls{0};     ///< stall episodes detected
+    std::atomic<bool> failed_permanently{false};
+    u64 shards_lost = 0;  ///< undrained shards with no survivor to take them
+    /// Every incarnation's death message, in order (watchdog-written
+    /// after joining the dead thread; read after the watchdog joins).
+    std::vector<std::string> all_errors;
   };
 
   void worker_main(WorkerThread& w);
+  /// (Re)launch w's OS thread running worker_main (exited is cleared
+  /// first; wall_seconds stays measured from engine start).
+  void spawn_worker(WorkerThread& w);
+  /// The watchdog: scans heartbeats every watchdog_interval_ms, joins
+  /// and respawns dead workers (bounded, backed-off), counts stall
+  /// episodes, and hands a permanently-failed worker's undrained
+  /// shards to a survivor (replica mode). Exits once the run concluded
+  /// or the engine is stopping.
+  void watchdog_main();
+  /// Move w's undrained shards to the first non-failed survivor
+  /// (replica mode); otherwise record them as lost on w.
+  void take_over_shards(WorkerThread& w);
+  /// Does w still own a shard whose pool is not fully delivered?
+  [[nodiscard]] static bool has_undrained(const WorkerThread& w);
   EngineReport finish(bool signal_stop);
   [[nodiscard]] EngineReport collect() const;
   /// WorkerReport for one shard's elements (worker = shard index).
@@ -263,6 +358,25 @@ class Engine {
   bool running_ = false;
   double wall_seconds_ = 0;
   usize budget_granted_ = 0;  ///< slots held from cfg_.budget, 0 = none
+  // ---- supervisor + conservation state (PR 9) ----
+  std::chrono::steady_clock::time_point start_time_;
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  /// Every worker concluded: exited clean, or permanently failed with
+  /// its shards reassigned/accounted. What wait() blocks on.
+  std::atomic<bool> run_concluded_{false};
+  std::atomic<u64> worker_restarts_{0};
+  std::atomic<u64> stall_detections_{0};
+  std::atomic<u64> shards_reassigned_{0};
+  /// The caller's pool (unsharded geometry drains it directly);
+  /// borrowed during the run for the conservation ledger, which is
+  /// computed once at first finish() and cached below.
+  TrafficPool* caller_pool_ = nullptr;
+  u64 offered_ = 0;
+  u64 delivered_ = 0;
+  u64 shed_ = 0;
+  u64 lost_ = 0;
+  bool conservation_checked_ = false;
 };
 
 }  // namespace pclass::dataplane

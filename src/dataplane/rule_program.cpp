@@ -89,6 +89,7 @@ hw::UpdateStats RuleProgramPublisher::apply_batch(
   std::shared_ptr<RuleProgram>& sb = standby();
   hw::UpdateStats cost;
   try {
+    if (fault_hook_) fault_hook_();
     cost = replay(*sb, new_from);
   } catch (...) {
     // All-or-nothing: drop the whole batch and restore the standby from

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -105,6 +106,16 @@ class RuleProgramPublisher : public sdn::UpdateSink {
   /// the off-hot-path build the paper's controller side suggests).
   hw::UpdateStats apply_batch(std::span<const sdn::Message> msgs);
 
+  /// Fault-injection hook, invoked under the writer lock inside every
+  /// apply_batch's try block (after the log insert, before the replay)
+  /// so a throw exercises the real all-or-nothing restore path. The
+  /// chaos plane points this at FaultInjector::on_publisher_apply.
+  /// Not thread-safe against concurrent applies — set before writers
+  /// start. nullptr (default) = no hook.
+  void set_fault_hook(std::function<void()> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   /// Convenience: install a whole rule set as one coalesced publish.
   hw::UpdateStats install_ruleset(const ruleset::RuleSet& rules);
 
@@ -146,6 +157,7 @@ class RuleProgramPublisher : public sdn::UpdateSink {
   std::atomic<u64> published_version_{0};
   PublisherStats stats_;
   telemetry::PublishClock publish_clock_;
+  std::function<void()> fault_hook_;  ///< see set_fault_hook
 };
 
 }  // namespace pclass::dataplane

@@ -196,7 +196,18 @@ struct WorkerReport {
   double wall_seconds = 0;
   /// Non-empty if the worker died on an exception (exceptions must not
   /// escape a worker thread — that would std::terminate the process).
+  /// Under the supervisor, healed workers (died but restarted, run
+  /// concluded) report empty here — their death messages live in
+  /// EngineReport::error_log; only a permanent failure that actually
+  /// lost traffic (shards_lost > 0) is fatal enough to surface here.
   std::string error;
+  // ---- supervisor accounting (zero when the supervisor is off) ----
+  u64 restarts = 0;  ///< watchdog respawns of this worker
+  u64 stalls = 0;    ///< heartbeat-stagnation episodes detected
+  bool failed_permanently = false;  ///< dead post-retry (max_restarts spent)
+  /// Undrained shards this worker took to the grave (no survivor to
+  /// reassign them to — their remaining packets are shed).
+  u64 shards_lost = 0;
 
   [[nodiscard]] double cache_hit_rate() const {
     const u64 total = cache_hits + cache_misses;
@@ -217,6 +228,20 @@ struct UpdateVisibility {
   u64 samples = 0;
   double mean_ns = 0;
   u64 max_ns = 0;
+};
+
+/// One worker death, with enough context to tell a healed incarnation
+/// from a permanent failure (EngineReport::error_log — the "surface ALL
+/// worker errors" view; first_error() stays the compat single-error
+/// view).
+struct WorkerErrorDetail {
+  usize worker = 0;
+  /// Restarts completed before this death (0 = first incarnation).
+  u64 restarts = 0;
+  /// True when this death ended the worker for good (no retry left, or
+  /// the supervisor was off).
+  bool permanent = false;
+  std::string message;
 };
 
 /// Whole-engine rollup.
@@ -257,6 +282,34 @@ struct EngineReport {
   /// not retained for the export (distinct from trace_events_dropped(),
   /// which is ring-overwrite loss).
   u64 trace_events_truncated = 0;
+  // ---- conservation ledger (finite runs; see docs/ROBUSTNESS.md) ----
+  /// True when the engine computed the ledger (finite pool; loop-mode
+  /// runs have no "offered" total to conserve against).
+  bool conservation_checked = false;
+  u64 offered_packets = 0;    ///< packets the run was asked to deliver
+  u64 delivered_packets = 0;  ///< packets that reached an ActionSink
+  /// Offered but never claimed by any source (their owner died
+  /// unrecoverably with no survivor to take the shard).
+  u64 shed_packets = 0;
+  /// Claimed off a pool but never delivered — in flight inside a worker
+  /// that died (at most one batch per death).
+  u64 lost_packets = 0;
+  // ---- supervisor rollup ----
+  u64 worker_restarts = 0;
+  u64 stall_detections = 0;
+  u64 shards_reassigned = 0;
+  u64 workers_failed = 0;  ///< permanently failed workers (post-retry)
+  /// Every worker death in order of (worker, incarnation) — healed and
+  /// permanent alike. Empty when nothing died.
+  std::vector<WorkerErrorDetail> error_log;
+
+  /// The conservation invariant: every offered packet is delivered,
+  /// shed, or accounted lost in flight — exactly. Vacuously true when
+  /// the ledger was not computed (loop mode).
+  [[nodiscard]] bool conserved() const {
+    return !conservation_checked ||
+           delivered_packets + shed_packets + lost_packets == offered_packets;
+  }
 
   [[nodiscard]] u64 packets() const {
     u64 n = 0;

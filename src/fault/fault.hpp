@@ -1,0 +1,142 @@
+/// \file fault.hpp
+/// Deterministic, seeded fault-injection plane.
+///
+/// A FaultPlan is a parsed schedule of injectable failures — worker
+/// throws, worker stalls, publisher apply failures, control-connection
+/// drops — expressed in a compact spec string (`--fault-plan`) so a
+/// chaos run is reproducible from its command line alone. A
+/// FaultInjector executes one plan: the Engine calls it once per worker
+/// sweep, the RuleProgramPublisher at the top of every apply, and the
+/// ControlServer per accepted request line. Each event fires exactly
+/// once; after the last event has fired every hook is a single relaxed
+/// atomic load (the empty-plan / drained-plan fast path the supervisor
+/// overhead gate measures).
+///
+/// Stalls are abort-aware: they sleep in ~1 ms slices and re-check the
+/// abort flag (wired to the engine's stop signal), so a drain or
+/// shutdown issued mid-stall completes within the watchdog deadline
+/// instead of waiting the stall out.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pclass::fault {
+
+/// What a scheduled fault does when it fires.
+enum class FaultKind {
+  kWorkerThrow,   ///< worker W throws InjectedFault at sweep N
+  kWorkerStall,   ///< worker W sleeps stall_ms at sweep N (abort-aware)
+  kPublishFail,   ///< publisher apply #K throws (state restored by the
+                  ///< publisher's all-or-nothing contract)
+  kConnDrop,      ///< control server closes the connection serving
+                  ///< request #K before any response bytes
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k);
+
+/// One scheduled fault. `at` is the hook-local sequence number the
+/// event fires on: the worker's persistent sweep counter (throw/stall
+/// — it survives restarts, so a plan can hit successive incarnations),
+/// the publisher's post-attach apply index (pubfail), or the server's
+/// request index (conndrop). All 0-based.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kWorkerThrow;
+  usize worker = 0;  ///< target worker (throw/stall only)
+  u64 at = 0;
+  u64 stall_ms = 0;  ///< stall duration (stall only)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The exception injected worker-side and publisher-side. Distinct from
+/// the production error types so tests (and the chaos scenario's
+/// expected-failure accounting) can tell an injected fault from a real
+/// one.
+class InjectedFault : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A parsed, ordered fault schedule.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Parse a comma-separated spec:
+  ///   throw:w=<worker>@<sweep>
+  ///   stall:w=<worker>@<sweep>:ms=<duration>
+  ///   pubfail:u=<apply-index>
+  ///   conndrop:r=<request-index>
+  /// An empty spec is the empty plan.
+  /// \throws ParseError on a malformed spec.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Round-trippable spec string (parse(to_string()) == *this).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Fired-event accounting, readable while the run is live.
+struct FaultCounters {
+  u64 worker_throws = 0;
+  u64 worker_stalls = 0;
+  u64 publish_failures = 0;
+  u64 conn_drops = 0;
+};
+
+/// Executes one FaultPlan. Thread-safe: worker threads, the publisher's
+/// writer and the control server's connection threads all call in
+/// concurrently. Each event fires exactly once; the hooks are O(events
+/// still pending) under a mutex while any remain and one relaxed load
+/// afterwards.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Worker sweep hook. \p sweep is the worker's persistent sweep
+  /// counter (survives supervisor restarts). A due kWorkerStall sleeps
+  /// here (abort-aware); a due kWorkerThrow throws InjectedFault —
+  /// after the stall, so one sweep can both stall and die.
+  /// \throws InjectedFault for a due kWorkerThrow.
+  void on_worker_batch(usize worker, u64 sweep);
+
+  /// Publisher hook: called at the top of every apply_batch once
+  /// attached; counts calls and throws on the scheduled ones.
+  /// \throws InjectedFault for a due kPublishFail.
+  void on_publisher_apply();
+
+  /// Control-server hook: true when request \p request_index should be
+  /// dropped (connection closed without a response).
+  [[nodiscard]] bool should_drop_request(u64 request_index);
+
+  /// Abort flag consulted mid-stall (engine stop signal). May be
+  /// nullptr (stalls then run their full duration).
+  void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
+
+  [[nodiscard]] FaultCounters counters() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Claim the first unfired event matching \p pred; returns its index
+  /// or SIZE_MAX.
+  template <typename Pred>
+  usize claim(Pred&& pred);
+
+  FaultPlan plan_;
+  const std::atomic<bool>* abort_ = nullptr;
+  std::atomic<u64> pending_;  ///< unfired events (fast-path gate)
+  std::atomic<u64> applies_{0};  ///< publisher apply calls seen
+  mutable std::mutex mu_;
+  std::vector<bool> fired_;
+  FaultCounters counters_;
+};
+
+}  // namespace pclass::fault

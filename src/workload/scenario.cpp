@@ -6,6 +6,7 @@
 #include <chrono>
 #include <filesystem>
 #include <functional>
+#include <map>
 #include <ostream>
 #include <thread>
 
@@ -13,6 +14,7 @@
 #include "common/build_info.hpp"
 #include "common/error.hpp"
 #include "dataplane/engine.hpp"
+#include "fault/fault.hpp"
 #include "workload/binio.hpp"
 #include "workload/json_writer.hpp"
 #include "workload/ruleset_synth.hpp"
@@ -126,16 +128,48 @@ void fill_engine_stats(ScenarioResult& r, EngineReport rep) {
   r.trace_events_dropped = rep.trace_events_dropped();
   r.trace_events_truncated = rep.trace_events_truncated;
   r.update_visibility = rep.update_visibility();
-  for (const auto& w : rep.workers) {
-    if (!w.error.empty()) {
-      r.worker_errors.push_back("worker " + std::to_string(w.worker) +
-                                ": " + w.error);
-    }
+  // Surface ALL worker deaths (healed incarnations included), each with
+  // its worker index + restart count; then any remaining fatal error the
+  // log does not already carry (e.g. a partition combiner misalignment).
+  std::vector<std::string> logged;
+  for (const auto& d : rep.error_log) {
+    r.worker_errors.push_back(
+        "worker " + std::to_string(d.worker) + " [restarts=" +
+        std::to_string(d.restarts) + (d.permanent ? ", permanent" : ", healed") +
+        "]: " + d.message);
+    logged.push_back(d.message);
   }
+  for (const auto& w : rep.workers) {
+    if (w.error.empty()) continue;
+    if (std::find(logged.begin(), logged.end(), w.error) != logged.end()) {
+      continue;
+    }
+    r.worker_errors.push_back("worker " + std::to_string(w.worker) + ": " +
+                              w.error);
+  }
+  // Supervisor rollup + the conservation ledger (finite runs only; the
+  // engine skips the ledger in loop mode).
+  r.worker_restarts = rep.worker_restarts;
+  r.stall_detections = rep.stall_detections;
+  r.shards_reassigned = rep.shards_reassigned;
+  r.workers_failed = rep.workers_failed;
+  r.conservation_checked = rep.conservation_checked;
+  r.offered_packets = rep.offered_packets;
+  r.delivered_packets = rep.delivered_packets;
+  r.shed_packets = rep.shed_packets;
+  r.lost_packets = rep.lost_packets;
+  r.conserved = rep.conserved();
   r.timeseries = std::move(rep.timeseries);
   r.trace_events = std::move(rep.trace_events);
   if (r.error.empty()) {
     r.error = rep.first_error();
+  }
+  if (r.error.empty() && !r.conserved) {
+    r.error = "conservation violated: delivered " +
+              std::to_string(r.delivered_packets) + " + shed " +
+              std::to_string(r.shed_packets) + " + lost " +
+              std::to_string(r.lost_packets) + " != offered " +
+              std::to_string(r.offered_packets);
   }
 }
 
@@ -527,6 +561,182 @@ ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
   return r;
 }
 
+/// Version -> LinearSearch oracle over exactly the rules installed at
+/// that published version (the differential fuzzer's idiom). The single
+/// scenario thread records after the install and every successful
+/// apply; oracles build lazily since most versions see few verdicts.
+class ChaosOracles {
+ public:
+  void record(const RuleProgramPublisher& pub) {
+    const std::shared_ptr<const dataplane::RuleProgram> prog = pub.acquire();
+    ruleset::RuleSet rs("v" + std::to_string(prog->version()));
+    for (const ruleset::Rule& rule : prog->classifier().installed_rules()) {
+      rs.add_verbatim(rule);
+    }
+    rules_.insert_or_assign(prog->version(), std::move(rs));
+  }
+
+  [[nodiscard]] const baseline::LinearSearch* at(u64 version) {
+    const auto built = oracles_.find(version);
+    if (built != oracles_.end()) return built->second.get();
+    const auto it = rules_.find(version);
+    if (it == rules_.end()) return nullptr;
+    auto oracle = std::make_unique<baseline::LinearSearch>(it->second);
+    return oracles_.emplace(version, std::move(oracle)).first->second.get();
+  }
+
+ private:
+  std::map<u64, ruleset::RuleSet> rules_;
+  std::map<u64, std::unique_ptr<baseline::LinearSearch>> oracles_;
+};
+
+/// The default seeded plan: worker 1 thrown past its retry budget on
+/// three consecutive sweeps (-> 2 restarts, then permanent failure and
+/// shard takeover), worker 2 stalled well past the watchdog deadline,
+/// and one publisher apply failed mid-storm (retried by the scenario).
+/// Sweep indices 1..3 so the plan fires even at the minimum trace floor
+/// (two batches per shard).
+constexpr const char* kDefaultChaosPlan =
+    "throw:w=1@1,throw:w=1@2,throw:w=1@3,stall:w=2@1:ms=250,pubfail:u=2";
+
+/// Chaos scenario: the fw-like workload in sharded replica mode under a
+/// seeded FaultPlan with the supervisor on. Every delivered verdict is
+/// checked against the LinearSearch oracle at its snapshot version, and
+/// the run must conserve packets exactly: delivered + shed + lost ==
+/// offered.
+ScenarioResult run_chaos(const ScenarioOptions& opts, WorkerBudget* budget,
+                         const std::string& name) {
+  ScenarioResult r;
+  const ScenarioWorkload w = obtain_workload(opts, name, [&] {
+    const usize rules_n = scaled(1500, opts.scale, 96);
+    const usize packets = scaled(60'000, opts.scale, 2048);
+    RulesetProfile rp = RulesetProfile::by_family("fw", rules_n, opts.seed);
+    ruleset::RuleSet rules = synthesize(rp);
+    TraceSynthesizer ts(rules,
+                        TraceProfile::standard(packets, opts.seed ^ 0xC4A0));
+    net::Trace trace = ts.generate();
+    return ScenarioWorkload{std::move(rules), std::move(trace)};
+  });
+  r.rules = w.rules.size();
+  r.trace_packets = w.trace.size();
+
+  fault::FaultPlan plan = fault::FaultPlan::parse(
+      opts.fault_plan.empty() ? kDefaultChaosPlan : opts.fault_plan);
+  r.fault_plan = plan.to_string();
+  fault::FaultInjector injector(std::move(plan));
+
+  // Takeover needs shards to reassign: force replica mode, >= 3 workers
+  // (the default plan targets workers 1 and 2; worker 0 survives).
+  // Flow cache off — the per-version oracle demands exact verdicts.
+  ScenarioOptions copts = opts;
+  copts.workers = std::max<usize>(opts.workers, 3);
+  copts.flow_cache_depth = 0;
+  const usize shards =
+      std::max<usize>(opts.shards == 0 ? 4 : opts.shards, copts.workers);
+  EngineConfig ecfg = engine_config(copts, budget, /*loop=*/false, shards);
+  ecfg.shard_mode = dataplane::ShardMode::kReplica;
+  ecfg.capture_verdicts = true;
+  ecfg.fault_injector = &injector;
+  ecfg.supervisor.enabled = true;
+  ecfg.supervisor.watchdog_interval_ms = 5;
+  ecfg.supervisor.stall_deadline_ms = 60;
+  ecfg.supervisor.max_restarts = 2;
+  ecfg.supervisor.restart_backoff_ms = 5;
+
+  usize updates = scaled(400, opts.scale, 64);
+  updates &= ~usize{1};
+  const UpdateStorm storm = make_update_storm(
+      w.rules, updates, /*first_id=*/60'000, opts.seed ^ 0x0BAD);
+
+  RuleProgramPublisher programs(scenario_config(w.rules, 512, opts));
+  programs.install_ruleset(w.rules);
+  programs.set_fault_hook([&injector] { injector.on_publisher_apply(); });
+  const u64 version_before = programs.version();
+  ChaosOracles oracles;
+  oracles.record(programs);
+
+  TrafficPool pool =
+      TrafficPool::from_trace(w.trace, /*materialize_packets=*/false);
+  Engine engine(ecfg, programs);
+  engine.start(pool);
+
+  // Southbound churn while faults fire. An injected publish failure
+  // leaves the publisher exactly as before the apply (all-or-nothing
+  // restore), so the retry of the same message must succeed.
+  u64 publish_failures_survived = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const sdn::Message& msg : storm.schedule) {
+    try {
+      programs.apply(msg);
+    } catch (const fault::InjectedFault&) {
+      ++publish_failures_survived;
+      programs.apply(msg);
+    }
+    oracles.record(programs);
+    std::this_thread::yield();
+  }
+  const double storm_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  EngineReport rep = engine.wait();
+  r.shard_reports = rep.shards;
+
+  // Per-version oracle over every delivered verdict: a verdict stamped
+  // with an unpublished version is itself a mismatch (torn snapshot).
+  for (const auto& stream : rep.captured) {
+    for (const dataplane::CapturedVerdict& cv : stream) {
+      ++r.oracle_checked;
+      const baseline::LinearSearch* oracle = oracles.at(cv.version);
+      if (oracle == nullptr) {
+        ++r.oracle_mismatches;
+        continue;
+      }
+      const ruleset::Rule* want = oracle->classify(cv.tuple, nullptr);
+      const bool agree = want == nullptr
+                             ? !cv.matched
+                             : cv.matched && cv.rule == want->id &&
+                                   cv.priority == want->priority;
+      if (!agree) ++r.oracle_mismatches;
+    }
+  }
+  fill_engine_stats(r, std::move(rep));
+
+  r.updates_applied = storm.schedule.size();
+  r.updates_per_sec =
+      storm_secs <= 0
+          ? 0.0
+          : static_cast<double>(storm.schedule.size()) / storm_secs;
+  r.grace_spins = programs.stats().grace_spins;
+  const fault::FaultCounters& fc = injector.counters();
+  r.injected_worker_throws = fc.worker_throws;
+  r.injected_worker_stalls = fc.worker_stalls;
+  r.injected_publish_failures = fc.publish_failures;
+  r.injected_conn_drops = fc.conn_drops;
+
+  if (r.error.empty() &&
+      programs.version() != version_before + storm.schedule.size()) {
+    r.error = "chaos: published version did not advance by the schedule "
+              "length (failed applies must restore, retries must land)";
+  }
+  if (opts.fault_plan.empty()) {
+    // The built-in plan's effects are deterministic; their absence means
+    // the fault plane or the supervisor silently did nothing.
+    if (r.error.empty() && r.worker_restarts < 1) {
+      r.error = "chaos: expected >= 1 worker restart under the default plan";
+    }
+    if (r.error.empty() && r.shards_reassigned < 1) {
+      r.error = "chaos: expected >= 1 shard reassignment under the default "
+                "plan";
+    }
+    if (r.error.empty() && publish_failures_survived < 1) {
+      r.error = "chaos: expected >= 1 injected publish failure to be "
+                "survived under the default plan";
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioOptions opts) : opts_(opts) {
@@ -574,6 +784,10 @@ const std::vector<ScenarioSpec>& ScenarioRunner::catalog() {
       {"update-storm-multi",
        "paced 4-writer churn contending on the publisher's writer mutex "
        "— snapshot swaps stress memo invalidation mid-trace"},
+      {"chaos",
+       "fw-like workload in sharded replica mode under a seeded "
+       "FaultPlan: worker kills, a stall and a failed publisher apply — "
+       "supervised, oracle-clean and packet-conserving"},
   };
   return kCatalog;
 }
@@ -605,6 +819,7 @@ ScenarioResult ScenarioRunner::run(const std::string& name) {
     else if (name == "update-storm-multi") {
       r = run_update_storm_multi(opts_, b, name);
     }
+    else if (name == "chaos") r = run_chaos(opts_, b, name);
   } catch (const std::exception& e) {
     r.error = e.what();
   }
@@ -723,6 +938,7 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   j.key("shard_mode").value(std::string(to_string(opts.shard_mode)));
   j.key("steer_symmetric").value(opts.steer_symmetric);
   j.key("steer_hash").value("mix64-5tuple");
+  j.key("fault_plan").value(opts.fault_plan);
   j.end_object();
   j.key("scenarios").begin_array();
   for (const ScenarioResult& r : results) {
@@ -781,6 +997,27 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
     j.key("oracle").begin_object();
     j.key("checked").value(r.oracle_checked);
     j.key("mismatches").value(r.oracle_mismatches);
+    j.end_object();
+    j.key("fault").begin_object();
+    j.key("plan").value(r.fault_plan);
+    j.key("worker_restarts").value(r.worker_restarts);
+    j.key("stall_detections").value(r.stall_detections);
+    j.key("shards_reassigned").value(r.shards_reassigned);
+    j.key("workers_failed").value(r.workers_failed);
+    j.key("injected").begin_object();
+    j.key("worker_throws").value(r.injected_worker_throws);
+    j.key("worker_stalls").value(r.injected_worker_stalls);
+    j.key("publish_failures").value(r.injected_publish_failures);
+    j.key("conn_drops").value(r.injected_conn_drops);
+    j.end_object();
+    j.end_object();
+    j.key("conservation").begin_object();
+    j.key("checked").value(r.conservation_checked);
+    j.key("offered").value(r.offered_packets);
+    j.key("delivered").value(r.delivered_packets);
+    j.key("shed").value(r.shed_packets);
+    j.key("lost_in_flight").value(r.lost_packets);
+    j.key("conserved").value(r.conserved);
     j.end_object();
     j.key("telemetry").begin_object();
     j.key("trace_events_dropped").value(r.trace_events_dropped);

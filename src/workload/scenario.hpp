@@ -94,6 +94,11 @@ struct ScenarioOptions {
   dataplane::ShardMode shard_mode = dataplane::ShardMode::kReplica;
   /// Symmetric steering hash: both flow directions land on one shard.
   bool steer_symmetric = false;
+  /// Fault-injection plan for the chaos scenario (--fault-plan), in
+  /// fault::FaultPlan spec grammar. Empty = the chaos scenario's
+  /// built-in seeded plan (one worker killed past its retry budget,
+  /// one stall, one failed publisher apply); other scenarios ignore it.
+  std::string fault_plan;
 };
 
 /// One scenario's measurement + verification outcome.
@@ -158,9 +163,31 @@ struct ScenarioResult {
   /// Spans measured but not retained (per-engine trace_keep_limit).
   u64 trace_events_truncated = 0;
   dataplane::UpdateVisibility update_visibility;
-  /// Per-worker errors ("worker N: what"), surfaced as the report's
-  /// `errors` array (r.error carries the first one for ok()).
+  /// Every worker error, surfaced as the report's `errors` array with
+  /// worker index + restart count ("worker N [restarts=R, healed|
+  /// permanent]: what"); r.error carries the first *fatal* one for
+  /// ok() — healed deaths (supervisor restarted the worker and the run
+  /// concluded) are informational.
   std::vector<std::string> worker_errors;
+
+  // Robustness (PR 9): supervisor + fault accounting (zero outside the
+  // chaos scenario unless a worker actually died) and the conservation
+  // ledger the engine computes for every finite run.
+  std::string fault_plan;  ///< round-tripped plan actually injected
+  u64 worker_restarts = 0;
+  u64 stall_detections = 0;
+  u64 shards_reassigned = 0;
+  u64 workers_failed = 0;
+  u64 injected_worker_throws = 0;
+  u64 injected_worker_stalls = 0;
+  u64 injected_publish_failures = 0;
+  u64 injected_conn_drops = 0;
+  bool conservation_checked = false;
+  u64 offered_packets = 0;
+  u64 delivered_packets = 0;
+  u64 shed_packets = 0;    ///< offered but never claimed (owner died)
+  u64 lost_packets = 0;    ///< claimed but in flight inside a dead worker
+  bool conserved = true;   ///< delivered + shed + lost == offered
   /// Raw per-shard rows (EngineReport::shards; empty when the scenario
   /// ran unsharded) — the report's `shards` array. Replica invariant:
   /// per-counter sums equal the engine totals above.

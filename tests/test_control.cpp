@@ -4,8 +4,11 @@
 /// concurrent clients, the scripted socket-driven update sequence with
 /// per-commit oracle checks and socket-to-dataplane visibility
 /// latency, streaming subscriptions (decimation, terminal records,
-/// disconnect mid-stream), the drain/reconcile moment, and graceful
-/// shutdown with an injected worker fault.
+/// disconnect mid-stream), the drain/reconcile moment, graceful
+/// shutdown with an injected worker fault, the fault plane's
+/// control-connection drop (a clean close, recoverable by reconnect),
+/// and a drain racing an injected worker stall (must cut the stall
+/// short and reconcile, not hang).
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
@@ -27,6 +30,7 @@
 #include "control/protocol.hpp"
 #include "control/server.hpp"
 #include "dataplane/engine.hpp"
+#include "fault/fault.hpp"
 
 using namespace pclass;
 using control::ControlPlane;
@@ -152,7 +156,9 @@ struct ServeHarness {
   std::atomic<bool> shutdown_requested{false};
 
   explicit ServeHarness(u64 stats_interval_ms = 5,
-                        std::function<void(usize)> fault_hook = nullptr)
+                        std::function<void(usize)> fault_hook = nullptr,
+                        fault::FaultInjector* injector = nullptr,
+                        dataplane::SupervisorConfig sup = {})
       : programs(harness_config()) {
     for (u32 i = 1; i <= 64; ++i) programs.apply(add_msg(i));
     for (u32 i = 0; i < 512; ++i) {
@@ -165,15 +171,23 @@ struct ServeHarness {
                                 .batch_size = 16,
                                 .loop = true,
                                 .stats_interval_ms = stats_interval_ms,
-                                .worker_fault_hook = std::move(fault_hook)},
+                                .worker_fault_hook = std::move(fault_hook),
+                                .fault_injector = injector,
+                                .supervisor = sup},
         programs);
     engine->start(pool);
     ControlPlane::Options opts;
     opts.verify_trace = &trace;
     opts.request_shutdown = [this] { shutdown_requested.store(true); };
     cp = std::make_unique<ControlPlane>(*engine, programs, opts);
-    server = std::make_unique<ControlServer>(
-        control::ServerConfig{}, &cp->registry(), cp->subscribe_hooks());
+    control::ServerConfig scfg;
+    if (injector != nullptr) {
+      scfg.drop_request_hook = [injector](u64 idx) {
+        return injector->should_drop_request(idx);
+      };
+    }
+    server = std::make_unique<ControlServer>(scfg, &cp->registry(),
+                                             cp->subscribe_hooks());
     server->start();
   }
 
@@ -606,6 +620,76 @@ TEST(ControlPlane, ShutdownRequestSignalsAndDrainSurvivesWorkerFault) {
   EXPECT_EQ(rep.packets(), h.cp->drain().packets());
   h.server->stop();
   h.server->stop();
+}
+
+// ---- fault plane on the control surface -----------------------------------
+
+TEST(ControlFault, ConnDropClosesCleanlyAndReconnectRecovers) {
+  // The server's request counter is global, so: request #0 answered,
+  // request #1 dropped (connection closed before a single response
+  // byte — what pclass_ctl.py's retry path sees), request #2 on a
+  // fresh connection answered again.
+  fault::FaultInjector inj(fault::FaultPlan::parse("conndrop:r=1"));
+  ServeHarness h(/*stats_interval_ms=*/5, nullptr, &inj);
+  {
+    TestClient c(h.port());
+    EXPECT_EQ(c.read_request("read version").code, 200);
+    c.send_raw("read stats\n");
+    EXPECT_TRUE(c.read_line().empty()) << "expected a silent close";
+  }
+  EXPECT_EQ(inj.counters().conn_drops, 1u);
+  TestClient c2(h.port());
+  const auto r = c2.read_request("read stats");
+  EXPECT_EQ(r.code, 200);
+  EXPECT_NE(r.payload.find("pclass-live-stats-v1"), std::string::npos);
+}
+
+TEST(ControlFault, DrainDuringInjectedStallCompletesWithinDeadline) {
+  // Satellite 4: shutdown racing a stalled worker. A 10s stall is
+  // active when drain lands; the engine's stop signal is wired to the
+  // injector's abort flag, so the stall must cut short and the drain
+  // reconcile within the watchdog's horizon — no hang, no double-drain.
+  fault::FaultInjector inj(fault::FaultPlan::parse("stall:w=0@2:ms=10000"));
+  dataplane::SupervisorConfig sup;
+  sup.enabled = true;
+  sup.watchdog_interval_ms = 5;
+  sup.stall_deadline_ms = 40;
+  ServeHarness h(/*stats_interval_ms=*/5, nullptr, &inj, sup);
+
+  // Let worker 0 reach sweep 2 and sink into the stall, and give the
+  // watchdog time to flag the episode.
+  const auto armed = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(500);
+  while ((inj.counters().worker_stalls < 1 ||
+          h.engine->supervisor_status().stall_detections < 1) &&
+         std::chrono::steady_clock::now() < armed) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(inj.counters().worker_stalls, 1u) << "stall never fired";
+  EXPECT_GE(h.engine->supervisor_status().stall_detections, 1u);
+
+  TestClient c(h.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto drain = c.request("write drain");
+  const auto drain_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(drain.code, 200) << drain.message;
+  EXPECT_LT(drain_ms, 5'000) << "drain waited out the 10s stall";
+
+  // Reconciled: the report is final, a second drain is the same report,
+  // and the stalled worker neither died nor lost anything.
+  const dataplane::EngineReport rep = h.cp->drain();
+  EXPECT_TRUE(rep.first_error().empty()) << rep.first_error();
+  EXPECT_GE(rep.stall_detections, 1u);
+  EXPECT_EQ(rep.worker_restarts, 0u);
+  EXPECT_EQ(rep.workers_failed, 0u);
+  EXPECT_EQ(rep.packets(), h.cp->drain().packets());
+  const auto stats = c.read_request("read stats");
+  ASSERT_EQ(stats.code, 200);
+  EXPECT_NE(stats.payload.find("\"drained\":true"), std::string::npos);
+  EXPECT_NE(stats.payload.find("\"stall_detections\":"), std::string::npos);
 }
 
 }  // namespace

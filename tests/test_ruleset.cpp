@@ -119,8 +119,10 @@ TEST(RuleTest, FingerprintMatchesEquality) {
 
 TEST(RuleSetTest, AddAssignsIdsAndPriorities) {
   RuleSet rs("t");
-  const Rule& r0 = rs.add(Rule{});
-  const Rule& r1 = rs.add(Rule{});
+  // add() returns a reference into the backing vector; copy it out
+  // before the next add() can reallocate and invalidate it.
+  const Rule r0 = rs.add(Rule{});
+  const Rule r1 = rs.add(Rule{});
   EXPECT_EQ(r0.id.value, 0u);
   EXPECT_EQ(r1.id.value, 1u);
   EXPECT_EQ(r1.priority, 1u);

@@ -8,6 +8,16 @@ length-framed `DATA <nbytes>` payload (every successful `read`), and
 until the next request line (whose execution is preceded by a terminal
 record carrying push/drop counts).
 
+Robustness: every request runs under a per-request `--timeout`, and
+transient failures — connect refused, the server dropping the
+connection mid-request (e.g. during drain, or a `conndrop` fault-plan
+event), resets, timeouts — are retried up to `--retries` times with
+exponential backoff plus jitter, reconnecting between attempts. A
+request that had already been sent is only retried when its verb is
+idempotent (`read`/`ping`/`subscribe`); a `write` that dies after send
+fails cleanly instead of risking a double-apply. A 503 (server
+draining) produces a one-line explanation, not a traceback.
+
 Examples:
   pclass_ctl.py --tcp 127.0.0.1:9099 -c "read stats"
   pclass_ctl.py --unix /tmp/pclass.sock -c "write rule add 7001 10 \
@@ -15,42 +25,78 @@ Examples:
   pclass_ctl.py --tcp 127.0.0.1:9099 --subscribe-rows 5 \
       -c "subscribe stats 200" -c "read stats"
   pclass_ctl.py --tcp 127.0.0.1:9099 --payload-only -c "read metrics"
+  pclass_ctl.py --tcp 127.0.0.1:9099 --timeout 2 --retries 4 \
+      -c "read stats"
 
-Exit status: 0 when every response was 2xx, 1 on a 4xx/5xx response or
-protocol violation, 2 on usage/connection errors.
+Exit status: 0 when every response was 2xx, 1 on a 4xx/5xx response,
+protocol violation or transient failure that exhausted its retries,
+2 on usage/connection errors.
 """
 
 import argparse
 import json
+import random
 import socket
 import sys
 import time
 
 
 class ProtocolError(Exception):
-    pass
+    """Unrecoverable protocol violation (malformed frame); not retried."""
+
+
+class TransientError(Exception):
+    """Connection-level failure worth retrying: the server dropped the
+    connection, the request timed out, or the kernel reported a reset.
+    `sent` is True when the request line had already left the socket, so
+    retrying a non-idempotent command would risk a double-apply."""
+
+    def __init__(self, message, sent=False):
+        super().__init__(message)
+        self.sent = sent
+
+
+def idempotent(command):
+    parts = command.split()
+    return bool(parts) and parts[0] in ("read", "ping", "subscribe", "quit")
 
 
 class Client:
-    def __init__(self, sock, payload_only=False, quiet=False):
+    def __init__(self, sock, payload_only=False, quiet=False, timeout=0.0):
         self.sock = sock
         self.rd = sock.makefile("rb")
         self.payload_only = payload_only
         self.quiet = quiet
+        self.timeout = timeout
         self.failures = 0
 
     def _readline(self):
-        line = self.rd.readline()
+        try:
+            line = self.rd.readline()
+        except socket.timeout:
+            raise TransientError(
+                f"request timed out after {self.timeout:g}s", sent=True)
+        except OSError as e:
+            raise TransientError(f"connection error: {e}", sent=True)
         if not line:
-            raise ProtocolError("connection closed by server")
+            raise TransientError(
+                "connection closed by server (draining or crashed?)",
+                sent=True)
         return line.decode("utf-8", "replace").rstrip("\n")
 
     def _read_exact(self, nbytes):
         buf = b""
         while len(buf) < nbytes:
-            chunk = self.rd.read(nbytes - len(buf))
+            try:
+                chunk = self.rd.read(nbytes - len(buf))
+            except socket.timeout:
+                raise TransientError(
+                    f"request timed out after {self.timeout:g}s", sent=True)
+            except OSError as e:
+                raise TransientError(f"connection error: {e}", sent=True)
             if not chunk:
-                raise ProtocolError("connection closed mid-payload")
+                raise TransientError("connection closed mid-payload",
+                                     sent=True)
             buf += chunk
         return buf
 
@@ -74,12 +120,22 @@ class Client:
             return code, parts[1] if len(parts) > 1 else ""
 
     def request(self, command, subscribe_rows=3):
-        self.sock.sendall(command.encode("utf-8") + b"\n")
+        try:
+            self.sock.sendall(command.encode("utf-8") + b"\n")
+        except socket.timeout:
+            raise TransientError(
+                f"request timed out after {self.timeout:g}s", sent=True)
+        except OSError as e:
+            raise TransientError(f"send failed: {e}", sent=False)
         code, message = self._read_status()
         if not self.payload_only:
             self._emit(f"{code} {message}\n")
         if code >= 400:
             self.failures += 1
+            if code == 503:
+                print(f"pclass_ctl: server unavailable (503 {message}): "
+                      "it is draining or shutting down — retry once it "
+                      "has restarted", file=sys.stderr)
             return code
         if command.split()[0] == "subscribe":
             self._stream_rows(subscribe_rows)
@@ -110,22 +166,96 @@ class Client:
             rows += 1
 
 
+def backoff_delay(base, attempt):
+    """Exponential backoff with jitter: base * 2^attempt, capped at 2s,
+    plus up to 50% random jitter so retry storms decorrelate."""
+    delay = min(base * (2 ** min(attempt, 6)), 2.0)
+    return delay + random.uniform(0, delay / 2)
+
+
 def connect(args):
+    """Connect with bounded retries (exponential backoff + jitter); the
+    legacy --wait deadline extends the retry window for daemon startup
+    races, polling until whichever of the two budgets lasts longer."""
     deadline = time.monotonic() + args.wait
+    attempt = 0
     while True:
         try:
             if args.unix:
                 sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            else:
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            if args.timeout > 0:
+                sock.settimeout(args.timeout)
+            if args.unix:
                 sock.connect(args.unix)
             else:
                 host, _, port = args.tcp.rpartition(":")
-                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
                 sock.connect((host or "127.0.0.1", int(port)))
             return sock
         except OSError as e:
-            if time.monotonic() >= deadline:
+            sock.close()
+            now = time.monotonic()
+            if attempt >= args.retries and now >= deadline:
                 raise e
-            time.sleep(0.1)
+            delay = max(backoff_delay(args.backoff, attempt), 0.05)
+            if now < deadline:
+                delay = min(delay, max(deadline - now, 0.05))
+            time.sleep(delay)
+            attempt += 1
+
+
+def run_commands(args):
+    try:
+        sock = connect(args)
+    except OSError as e:
+        print(f"pclass_ctl: connect failed: {e}", file=sys.stderr)
+        return 2
+
+    client = Client(sock, payload_only=args.payload_only,
+                    quiet=args.payload_only, timeout=args.timeout)
+    commands = list(args.cmd) + ["quit"]
+    failures = 0
+    retries_left = args.retries
+    idx = 0
+    while idx < len(commands):
+        command = commands[idx]
+        try:
+            client.request(command, subscribe_rows=args.subscribe_rows)
+            idx += 1
+        except TransientError as e:
+            sock.close()
+            if command == "quit":
+                break  # server already closed: goal achieved
+            if e.sent and not idempotent(command):
+                print(f"pclass_ctl: {e}; not retrying non-idempotent "
+                      f"request {command!r}", file=sys.stderr)
+                return 1
+            if retries_left <= 0:
+                print(f"pclass_ctl: {e} (retries exhausted)",
+                      file=sys.stderr)
+                return 1
+            attempt = args.retries - retries_left
+            retries_left -= 1
+            delay = backoff_delay(args.backoff, attempt)
+            print(f"pclass_ctl: {e}; retrying in {delay:.2f}s "
+                  f"({retries_left + 1} attempt(s) left)", file=sys.stderr)
+            time.sleep(delay)
+            try:
+                sock = connect(args)
+            except OSError as ce:
+                print(f"pclass_ctl: reconnect failed: {ce}",
+                      file=sys.stderr)
+                return 2
+            failures += client.failures
+            client = Client(sock, payload_only=args.payload_only,
+                            quiet=args.payload_only, timeout=args.timeout)
+        except ProtocolError as e:
+            print(f"pclass_ctl: protocol error: {e}", file=sys.stderr)
+            sock.close()
+            return 1
+    sock.close()
+    return 1 if failures + client.failures else 0
 
 
 def main():
@@ -140,6 +270,15 @@ def main():
                     metavar="LINE", help="request line (repeatable)")
     ap.add_argument("--wait", type=float, default=0.0, metavar="SECS",
                     help="retry the connect for up to SECS (default: 0)")
+    ap.add_argument("--timeout", type=float, default=10.0, metavar="SECS",
+                    help="per-request socket timeout; 0 disables "
+                    "(default: 10)")
+    ap.add_argument("--retries", type=int, default=2, metavar="N",
+                    help="max retries on connect/transient errors "
+                    "(default: 2)")
+    ap.add_argument("--backoff", type=float, default=0.2, metavar="SECS",
+                    help="base retry backoff, doubled per attempt with "
+                    "jitter (default: 0.2)")
     ap.add_argument("--subscribe-rows", type=int, default=3, metavar="N",
                     help="rows to print per subscribe before moving on")
     ap.add_argument("--payload-only", action="store_true",
@@ -147,25 +286,7 @@ def main():
     args = ap.parse_args()
     if not args.cmd:
         ap.error("at least one -c/--cmd is required")
-
-    try:
-        sock = connect(args)
-    except OSError as e:
-        print(f"pclass_ctl: connect failed: {e}", file=sys.stderr)
-        return 2
-
-    client = Client(sock, payload_only=args.payload_only,
-                    quiet=args.payload_only)
-    try:
-        for command in args.cmd:
-            client.request(command, subscribe_rows=args.subscribe_rows)
-        client.request("quit")
-    except ProtocolError as e:
-        print(f"pclass_ctl: protocol error: {e}", file=sys.stderr)
-        return 1
-    finally:
-        sock.close()
-    return 1 if client.failures else 0
+    return run_commands(args)
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@
 ///                   [--memo persistent|per-batch] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
 ///                   [--shards N] [--shard-mode replica|partition]
-///                   [--steer-symmetric]
+///                   [--steer-symmetric] [--fault-plan SPEC]
 ///                   [--save-workloads DIR] [--load-workloads DIR]
 ///                   [--stats-interval-ms N] [--trace-out FILE]
 ///                   [--metrics-out FILE]
@@ -49,6 +49,11 @@
 /// back to unsharded under partition). --steer-symmetric makes both
 /// directions of a flow land on the same shard.
 ///
+/// --fault-plan SPEC overrides the chaos scenario's built-in seeded
+/// fault plan (grammar: throw:w=W@S, stall:w=W@S:ms=D, pubfail:u=K,
+/// conndrop:r=K, comma-separated; see docs/ROBUSTNESS.md). Other
+/// scenarios ignore it.
+///
 /// --save-workloads writes each scenario's synthesized ruleset/trace as
 /// versioned PCR1/PCT1 binaries; --load-workloads replays them instead
 /// of re-synthesizing, so two runs (e.g. scalar vs phase2 batch mode,
@@ -79,7 +84,7 @@ int usage() {
                "[--memo persistent|per-batch] [--memo-ways 1|2] "
                "[--path-policy adaptive|phase2|scalar-loop] "
                "[--shards N] [--shard-mode replica|partition] "
-               "[--steer-symmetric] "
+               "[--steer-symmetric] [--fault-plan SPEC] "
                "[--save-workloads DIR] [--load-workloads DIR] "
                "[--stats-interval-ms N] [--trace-out FILE] "
                "[--metrics-out FILE]\n";
@@ -132,6 +137,24 @@ void write_metrics(std::ostream& os,
     m.counter("pclass_oracle_mismatches_total",
               "Oracle verification mismatches", ls,
               static_cast<double>(r.oracle_mismatches));
+    m.counter("pclass_worker_restarts_total",
+              "Supervisor restarts of dead workers", ls,
+              static_cast<double>(r.worker_restarts));
+    m.counter("pclass_stall_detections_total",
+              "Watchdog heartbeat-stall episodes", ls,
+              static_cast<double>(r.stall_detections));
+    m.counter("pclass_shards_reassigned_total",
+              "Shards taken over from permanently failed workers", ls,
+              static_cast<double>(r.shards_reassigned));
+    m.counter("pclass_workers_failed_total",
+              "Workers that ended permanently failed (post-retry)", ls,
+              static_cast<double>(r.workers_failed));
+    m.counter("pclass_shed_packets_total",
+              "Offered packets never claimed (owner died, no survivor)",
+              ls, static_cast<double>(r.shed_packets));
+    m.counter("pclass_lost_packets_total",
+              "Packets in flight inside a dead worker", ls,
+              static_cast<double>(r.lost_packets));
   }
 }
 
@@ -207,6 +230,8 @@ int main(int argc, char** argv) {
       opts.shard_mode = *mode;
     } else if (flag == "--steer-symmetric") {
       opts.steer_symmetric = true;
+    } else if (flag == "--fault-plan" && i + 1 < argc) {
+      opts.fault_plan = argv[++i];
     } else if (flag == "--parallel" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || n > 64) return usage();
       opts.parallel = static_cast<usize>(n);

@@ -15,12 +15,22 @@
 ///                [--memo persistent|per-batch|off] [--memo-ways 1|2]
 ///                [--path-policy adaptive|phase2|scalar-loop]
 ///                [--shards N] [--steer-symmetric]
-///                [--report FILE] [--version]
+///                [--fault-plan SPEC] [--report FILE] [--version]
 ///
 /// --shards N serves the loop with N RSS-style replica shards (per-flow
 /// steered slices, one classifier replica + flow cache + probe memo
 /// per shard); `read stats` then reports one row per shard. Partition
 /// mode is finite-only and rejected here.
+///
+/// The engine runs supervised: a watchdog thread restarts workers that
+/// die (bounded retries with backoff), detects heartbeat stalls, and in
+/// sharded mode reassigns an unrecoverable worker's shards to
+/// survivors. --fault-plan SPEC injects deterministic faults (grammar:
+/// throw:w=W@S, stall:w=W@S:ms=D, pubfail:u=K, conndrop:r=K — see
+/// docs/ROBUSTNESS.md) for chaos drills; conndrop events make the
+/// control server drop the matching request's connection mid-flight.
+/// The exit code is nonzero iff any worker ended permanently failed
+/// (post-retry); healed restarts are reported but do not fail the run.
 ///
 /// Rule/trace files may be ClassBench text or the versioned PCR1/PCT1
 /// binaries (sniffed by magic). Once serving, the first stdout line is
@@ -50,6 +60,7 @@
 #include "control/control_plane.hpp"
 #include "control/server.hpp"
 #include "dataplane/engine.hpp"
+#include "fault/fault.hpp"
 #include "net/trace.hpp"
 #include "ruleset/classbench.hpp"
 #include "workload/binio.hpp"
@@ -70,7 +81,8 @@ int usage() {
          "[--memo-ways 1|2]\n"
          "                    [--path-policy adaptive|phase2|scalar-loop]\n"
          "                    [--shards N] [--steer-symmetric]\n"
-         "                    [--report FILE] [--version]\n"
+         "                    [--fault-plan SPEC] [--report FILE] "
+         "[--version]\n"
          "(rules/trace: ClassBench text or PCR1/PCT1 binaries, sniffed)\n";
   return 2;
 }
@@ -236,6 +248,24 @@ void write_report(std::ostream& os, const dataplane::EngineReport& rep,
   j.end_object();
   j.end_object();
 
+  j.key("supervisor").begin_object();
+  j.key("worker_restarts").value(rep.worker_restarts);
+  j.key("stall_detections").value(rep.stall_detections);
+  j.key("shards_reassigned").value(rep.shards_reassigned);
+  j.key("workers_failed").value(rep.workers_failed);
+  j.end_object();
+
+  j.key("errors").begin_array();
+  for (const auto& d : rep.error_log) {
+    j.begin_object();
+    j.key("worker").value(static_cast<u64>(d.worker));
+    j.key("restarts").value(d.restarts);
+    j.key("permanent").value(d.permanent);
+    j.key("message").value(d.message);
+    j.end_object();
+  }
+  j.end_array();
+
   j.key("timeseries").begin_array();
   for (const auto& s : rep.timeseries) control::write_stats_sample(j, s);
   j.end_array();
@@ -261,6 +291,7 @@ int main(int argc, char** argv) {
   u32 memo_ways = 2;
   usize shards = 0;
   bool steer_symmetric = false;
+  std::string fault_plan_spec;
 
   u64 n = 0;
   for (int i = 1; i < argc; ++i) {
@@ -317,6 +348,8 @@ int main(int argc, char** argv) {
       shards = static_cast<usize>(n);
     } else if (flag == "--steer-symmetric") {
       steer_symmetric = true;
+    } else if (flag == "--fault-plan" && i + 1 < argc) {
+      fault_plan_spec = argv[++i];
     } else if (flag == "--path-policy" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "adaptive") path_policy = core::PathPolicy::kAdaptive;
@@ -356,15 +389,32 @@ int main(int argc, char** argv) {
     dataplane::TrafficPool pool =
         dataplane::TrafficPool::from_trace(trace, /*materialize=*/false);
 
-    dataplane::Engine engine({.workers = workers,
-                              .batch_size = batch,
-                              .flow_cache_depth = cache_depth,
-                              .loop = true,
-                              .stats_interval_ms = stats_interval_ms,
-                              .shards = shards,
-                              .shard_mode = dataplane::ShardMode::kReplica,
-                              .steer_symmetric = steer_symmetric},
-                             programs);
+    // Fault injection (chaos drills): the injector must outlive the
+    // engine and the control server, both of which hold pointers in.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!fault_plan_spec.empty()) {
+      injector = std::make_unique<fault::FaultInjector>(
+          fault::FaultPlan::parse(fault_plan_spec));
+      programs.set_fault_hook(
+          [inj = injector.get()] { inj->on_publisher_apply(); });
+      std::cerr << "fault plan armed: " << injector->plan().to_string()
+                << "\n";
+    }
+
+    dataplane::EngineConfig ecfg{.workers = workers,
+                                 .batch_size = batch,
+                                 .flow_cache_depth = cache_depth,
+                                 .loop = true,
+                                 .stats_interval_ms = stats_interval_ms,
+                                 .shards = shards,
+                                 .shard_mode = dataplane::ShardMode::kReplica,
+                                 .steer_symmetric = steer_symmetric};
+    // The daemon always runs supervised: workers that die restart with
+    // bounded retries, stalls are detected, and a permanently failed
+    // worker's shards move to survivors instead of wedging the loop.
+    ecfg.supervisor.enabled = true;
+    ecfg.fault_injector = injector.get();
+    dataplane::Engine engine(ecfg, programs);
     workers = engine.config().workers;
 
     struct sigaction sa = {};
@@ -380,7 +430,13 @@ int main(int argc, char** argv) {
       g_stop.store(true, std::memory_order_relaxed);
     };
     control::ControlPlane cp(engine, programs, copts);
-    control::ControlServer server(parse_listen(listen_spec), &cp.registry(),
+    control::ServerConfig scfg = parse_listen(listen_spec);
+    if (injector) {
+      scfg.drop_request_hook = [inj = injector.get()](u64 request_index) {
+        return inj->should_drop_request(request_index);
+      };
+    }
+    control::ControlServer server(std::move(scfg), &cp.registry(),
                                   cp.subscribe_hooks());
     server.start();
 
@@ -419,6 +475,26 @@ int main(int argc, char** argv) {
               << " ms)\n"
               << "processed " << rep.packets() << " packets ("
               << rep.aggregate_mpps() << " Mpps aggregate)\n";
+    // Surface every worker death — healed incarnations and permanent
+    // failures alike — then fail the run iff a worker ended permanently
+    // failed (post-retry). A restart the supervisor healed is news, not
+    // an error.
+    for (const auto& d : rep.error_log) {
+      std::cerr << "worker " << d.worker << " [restarts=" << d.restarts
+                << (d.permanent ? ", permanent" : ", healed") << "]: "
+                << d.message << "\n";
+    }
+    if (rep.worker_restarts > 0 || rep.stall_detections > 0 ||
+        rep.shards_reassigned > 0) {
+      std::cerr << "supervisor: restarts=" << rep.worker_restarts
+                << " stalls=" << rep.stall_detections
+                << " shards_reassigned=" << rep.shards_reassigned << "\n";
+    }
+    if (rep.workers_failed > 0) {
+      std::cerr << "error: " << rep.workers_failed
+                << " worker(s) ended permanently failed (post-retry)\n";
+      return 1;
+    }
     if (const std::string err = rep.first_error(); !err.empty()) {
       std::cerr << "error: worker failed: " << err << "\n";
       return 1;
