@@ -38,7 +38,8 @@
 /// — the drained-plan fast path every supervised production run pays.
 /// Same shapes, same interleaved best-of-N, same 3% Mpps budget.
 ///
-/// Usage: bench_batch_ablation [--packets N] [--load-workloads DIR]
+/// Usage: bench_batch_ablation [--packets N] [--ip-alg mbt|bst|rvh]
+///                             [--load-workloads DIR]
 ///                             [--telemetry-gate] [--supervisor-gate]
 #include <algorithm>
 #include <chrono>
@@ -266,6 +267,7 @@ int main(int argc, char** argv) {
   bool packets_set = false;
   bool telemetry_gate = false;
   bool supervisor_gate = false;
+  core::IpAlgorithm ip_alg = core::IpAlgorithm::kMbt;
   std::string load_dir;
   u64 n = 0;
   for (int i = 1; i < argc; ++i) {
@@ -273,12 +275,23 @@ int main(int argc, char** argv) {
     if (flag == "--packets" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || n == 0 || n > 10'000'000) {
         std::cerr << "usage: bench_batch_ablation [--packets N] "
-                     "[--load-workloads DIR] [--telemetry-gate] "
-                     "[--supervisor-gate]\n";
+                     "[--ip-alg mbt|bst|rvh] [--load-workloads DIR] "
+                     "[--telemetry-gate] [--supervisor-gate]\n";
         return 2;
       }
       packets = static_cast<usize>(n);
       packets_set = true;
+    } else if (flag == "--ip-alg" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "mbt") ip_alg = core::IpAlgorithm::kMbt;
+      else if (v == "bst") ip_alg = core::IpAlgorithm::kBst;
+      else if (v == "rvh") ip_alg = core::IpAlgorithm::kRvh;
+      else {
+        std::cerr << "usage: bench_batch_ablation [--packets N] "
+                     "[--ip-alg mbt|bst|rvh] [--load-workloads DIR] "
+                     "[--telemetry-gate] [--supervisor-gate]\n";
+        return 2;
+      }
     } else if (flag == "--load-workloads" && i + 1 < argc) {
       load_dir = argv[++i];
     } else if (flag == "--telemetry-gate") {
@@ -287,8 +300,8 @@ int main(int argc, char** argv) {
       supervisor_gate = true;
     } else {
       std::cerr << "usage: bench_batch_ablation [--packets N] "
-                   "[--load-workloads DIR] [--telemetry-gate] "
-                   "[--supervisor-gate]\n";
+                   "[--ip-alg mbt|bst|rvh] [--load-workloads DIR] "
+                   "[--telemetry-gate] [--supervisor-gate]\n";
       return 2;
     }
   }
@@ -345,11 +358,13 @@ int main(int argc, char** argv) {
     header("Batch-phase-2 ablation — " + std::string(shape.name),
            std::to_string(shape.w.rules.size()) + " rules, " +
                std::to_string(shape.w.trace.size()) +
-               " headers, single thread, CrossProduct/MBT.");
+               " headers, single thread, CrossProduct/" +
+               to_string(ip_alg) + ".");
 
     core::ClassifierConfig cfg =
         core::ClassifierConfig::for_scale(shape.w.rules.size());
     cfg.combine_mode = core::CombineMode::kCrossProduct;
+    cfg.ip_algorithm = ip_alg;
     core::ConfigurableClassifier clf(cfg);
     clf.add_rules(shape.w.rules);
     std::vector<net::FiveTuple> in;

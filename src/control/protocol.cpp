@@ -192,11 +192,13 @@ sdn::Message parse_set_command(std::span<const std::string> args) {
   }
   if (knob == "ip-alg") {
     if (value == "mbt") {
-      cm.use_bst = false;
+      cm.ip_algorithm = core::IpAlgorithm::kMbt;
     } else if (value == "bst") {
-      cm.use_bst = true;
+      cm.ip_algorithm = core::IpAlgorithm::kBst;
+    } else if (value == "rvh") {
+      cm.ip_algorithm = core::IpAlgorithm::kRvh;
     } else {
-      throw ParseError("set ip-alg: expected mbt|bst");
+      throw ParseError("set ip-alg: expected mbt|bst|rvh");
     }
     return cm;
   }

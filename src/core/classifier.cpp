@@ -5,6 +5,7 @@
 #include <chrono>
 #include <functional>
 
+#include "common/bits.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
 
@@ -13,8 +14,19 @@ namespace pclass::core {
 namespace {
 
 hw::SharedRole role_of(IpAlgorithm a) {
+  // Only the two paper engines time-share the Fig. 5 block; the RVH
+  // owns its table, so this is never called with kRvh.
   return a == IpAlgorithm::kMbt ? hw::SharedRole::kMbtLevel2
                                 : hw::SharedRole::kBstNodes;
+}
+
+u64 ipalg_signal(IpAlgorithm a) {
+  switch (a) {
+    case IpAlgorithm::kMbt: return 0;
+    case IpAlgorithm::kBst: return 1;
+    case IpAlgorithm::kRvh: return 2;
+  }
+  return 0;
 }
 
 constexpr unsigned kSharedWordBits = 33;  // max(MBT entry 29, BST node 33)
@@ -81,7 +93,9 @@ ConfigurableClassifier::ConfigurableClassifier(ClassifierConfig cfg)
         /*shared_level_index=*/1);
     bst_[i] = std::make_unique<alg::BinarySearchTree>(name, bc, *lists_[i],
                                                       prio_cb, shared_block);
-    if (cfg_.share_ip_memory) {
+    rvh_[i] = std::make_unique<alg::RangeVectorHash>(name, cfg_.rvh,
+                                                     *lists_[i], prio_cb);
+    if (cfg_.share_ip_memory && cfg_.ip_algorithm != IpAlgorithm::kRvh) {
       shared_[i]->bind(role_of(cfg_.ip_algorithm));
     }
   }
@@ -144,21 +158,37 @@ std::array<Label, kNumDimensions> ConfigurableClassifier::acquire_labels(
     Priority& shadow = label_prio_[index_of(d)][acq.label.value];
     if (acq.created) {
       shadow = best;
-      if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
-        mbt_[i]->insert(v, acq.label, log);
-      } else if (bst_bulk != nullptr) {
-        (*bst_bulk)[i].emplace_back(v, acq.label);
-      } else {
-        bst_[i]->insert(v, acq.label, log);
+      switch (cfg_.ip_algorithm) {
+        case IpAlgorithm::kMbt:
+          mbt_[i]->insert(v, acq.label, log);
+          break;
+        case IpAlgorithm::kRvh:
+          rvh_[i]->insert(v, acq.label, log);
+          break;
+        case IpAlgorithm::kBst:
+          if (bst_bulk != nullptr) {
+            (*bst_bulk)[i].emplace_back(v, acq.label);
+          } else {
+            bst_[i]->insert(v, acq.label, log);
+          }
+          break;
       }
     } else if (shadow != best) {
       shadow = best;
-      if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
-        mbt_[i]->refresh(v, log);
-      } else if (bst_bulk == nullptr) {
-        bst_[i]->refresh(v, log);
+      switch (cfg_.ip_algorithm) {
+        case IpAlgorithm::kMbt:
+          mbt_[i]->refresh(v, log);
+          break;
+        case IpAlgorithm::kRvh:
+          rvh_[i]->refresh(v, log);
+          break;
+        case IpAlgorithm::kBst:
+          // bulk BST: the single rebuild at the end re-sorts everything
+          if (bst_bulk == nullptr) {
+            bst_[i]->refresh(v, log);
+          }
+          break;
       }
-      // bulk BST: the single rebuild at the end re-sorts everything
     }
   }
 
@@ -194,20 +224,20 @@ void ConfigurableClassifier::release_labels(const ruleset::Rule& r,
     const alg::ReleaseResult rel = ip_tables_[i].release(v, r.priority);
     if (rel.freed) {
       label_prio_[index_of(d)][rel.label.value] = kNoPriority;
-      if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
-        mbt_[i]->remove(v, log);
-      } else {
-        bst_[i]->remove(v, log);
+      switch (cfg_.ip_algorithm) {
+        case IpAlgorithm::kMbt: mbt_[i]->remove(v, log); break;
+        case IpAlgorithm::kBst: bst_[i]->remove(v, log); break;
+        case IpAlgorithm::kRvh: rvh_[i]->remove(v, log); break;
       }
     } else {
       const Priority best = ip_tables_[i].best_priority(v);
       Priority& shadow = label_prio_[index_of(d)][rel.label.value];
       if (shadow != best) {
         shadow = best;
-        if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
-          mbt_[i]->refresh(v, log);
-        } else {
-          bst_[i]->refresh(v, log);
+        switch (cfg_.ip_algorithm) {
+          case IpAlgorithm::kMbt: mbt_[i]->refresh(v, log); break;
+          case IpAlgorithm::kBst: bst_[i]->refresh(v, log); break;
+          case IpAlgorithm::kRvh: rvh_[i]->refresh(v, log); break;
         }
       }
     }
@@ -370,20 +400,22 @@ hw::UpdateStats ConfigurableClassifier::set_ip_algorithm(IpAlgorithm alg) {
   hw::CommandLog log;
   // 1. Clear the deactivating engines while their binding is still live.
   for (usize i = 0; i < 4; ++i) {
-    if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
-      mbt_[i]->clear(log);
-    } else {
-      bst_[i]->clear(log);
+    switch (cfg_.ip_algorithm) {
+      case IpAlgorithm::kMbt: mbt_[i]->clear(log); break;
+      case IpAlgorithm::kBst: bst_[i]->clear(log); break;
+      case IpAlgorithm::kRvh: rvh_[i]->clear(log); break;
     }
   }
-  // 2. Flush + re-bind the shared blocks (Fig. 5).
-  if (cfg_.share_ip_memory) {
+  // 2. Flush + re-bind the shared blocks (Fig. 5). The RVH owns its
+  // table, so selecting it leaves the shared blocks bound (and empty)
+  // where the last trie-family engine left them.
+  if (cfg_.share_ip_memory && alg != IpAlgorithm::kRvh) {
     for (usize i = 0; i < 4; ++i) {
       shared_[i]->bind(role_of(alg));
     }
   }
   // 3. Drive the select line.
-  log.config_toggle("IPalg_s", alg == IpAlgorithm::kBst ? 1 : 0);
+  log.config_toggle("IPalg_s", ipalg_signal(alg));
   cfg_.ip_algorithm = alg;
   // 4. Rebuild the newly selected engines from the label tables.
   rebuild_active_ip_engines(log);
@@ -399,6 +431,10 @@ void ConfigurableClassifier::rebuild_active_ip_engines(hw::CommandLog& log) {
         });
     if (cfg_.ip_algorithm == IpAlgorithm::kBst) {
       bst_[i]->insert_bulk(live, log);
+    } else if (cfg_.ip_algorithm == IpAlgorithm::kRvh) {
+      for (const auto& [v, l] : live) {
+        rvh_[i]->insert(v, l, log);
+      }
     } else {
       for (const auto& [v, l] : live) {
         mbt_[i]->insert(v, l, log);
@@ -409,9 +445,12 @@ void ConfigurableClassifier::rebuild_active_ip_engines(hw::CommandLog& log) {
 
 alg::ListRef ConfigurableClassifier::ip_lookup(usize ip_dim_index, u16 key,
                                                hw::CycleRecorder* rec) const {
-  return cfg_.ip_algorithm == IpAlgorithm::kMbt
-             ? mbt_[ip_dim_index]->lookup(key, rec)
-             : bst_[ip_dim_index]->lookup(key, rec);
+  switch (cfg_.ip_algorithm) {
+    case IpAlgorithm::kMbt: return mbt_[ip_dim_index]->lookup(key, rec);
+    case IpAlgorithm::kBst: return bst_[ip_dim_index]->lookup(key, rec);
+    case IpAlgorithm::kRvh: return rvh_[ip_dim_index]->lookup(key, rec);
+  }
+  return alg::ListRef{};
 }
 
 ClassifyResult ConfigurableClassifier::classify(
@@ -568,20 +607,46 @@ void ConfigurableClassifier::classify_batch(
   // distinct_keys) point. Every path yields identical verdicts and
   // per-packet memory accesses, so this only moves host work. The
   // distinct count is only computed when the controller consumes it —
-  // forced policies skip the O(n log n) fingerprint sort entirely.
+  // forced policies skip the fingerprint pass entirely.
   const bool memo_eligible = cfg_.batch_probe_memo;
   const bool adaptive = cfg_.batch_path_policy == PathPolicy::kAdaptive;
   usize distinct = in.size();
   if (adaptive) {
-    scratch.distinct_fp.clear();
-    for (const net::FiveTuple& t : in) {
-      scratch.distinct_fp.push_back(std::hash<net::FiveTuple>{}(t));
+    // Streaming distinct count: one pass over the same header
+    // fingerprints the former sort+unique consumed, deduplicated
+    // through an open-addressed presence table (load factor <= 1/2),
+    // so the count is value-identical without the per-batch O(n log n)
+    // sort. A fingerprint of 0 would collide with the empty-slot
+    // sentinel, so it is tracked out-of-band.
+    auto& tab = scratch.distinct_fp;
+    const usize cap =
+        static_cast<usize>(next_pow2(std::max<u64>(16, u64{in.size()} * 2)));
+    if (tab.size() != cap) {
+      tab.assign(cap, 0);
+    } else {
+      std::fill(tab.begin(), tab.end(), 0);
     }
-    std::sort(scratch.distinct_fp.begin(), scratch.distinct_fp.end());
-    scratch.distinct_fp.erase(std::unique(scratch.distinct_fp.begin(),
-                                          scratch.distinct_fp.end()),
-                              scratch.distinct_fp.end());
-    distinct = scratch.distinct_fp.size();
+    const usize mask = cap - 1;
+    bool seen_zero = false;
+    usize count = 0;
+    for (const net::FiveTuple& t : in) {
+      const u64 fp = std::hash<net::FiveTuple>{}(t);
+      if (fp == 0) {
+        count += !seen_zero;
+        seen_zero = true;
+        continue;
+      }
+      usize slot = static_cast<usize>(mix64(fp)) & mask;
+      while (tab[slot] != fp) {
+        if (tab[slot] == 0) {
+          tab[slot] = fp;
+          ++count;
+          break;
+        }
+        slot = (slot + 1) & mask;
+      }
+    }
+    distinct = count;
   }
   BatchPath path = BatchPath::kPhase2;
   switch (cfg_.batch_path_policy) {
@@ -695,10 +760,16 @@ void ConfigurableClassifier::classify_batch_phase2(
   // Phase 2, batched: each engine resolves its sorted run once.
   for (usize i = 0; i < 4; ++i) {
     const usize d = index_of(kIpDims[i]);
-    if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
-      mbt_[i]->lookup_batch_into(s.keys[d], s.ip_refs[i], s.recs[d]);
-    } else {
-      bst_[i]->lookup_batch_into(s.keys[d], s.ip_refs[i], s.recs[d]);
+    switch (cfg_.ip_algorithm) {
+      case IpAlgorithm::kMbt:
+        mbt_[i]->lookup_batch_into(s.keys[d], s.ip_refs[i], s.recs[d]);
+        break;
+      case IpAlgorithm::kBst:
+        bst_[i]->lookup_batch_into(s.keys[d], s.ip_refs[i], s.recs[d]);
+        break;
+      case IpAlgorithm::kRvh:
+        rvh_[i]->lookup_batch_into(s.keys[d], s.ip_refs[i], s.recs[d]);
+        break;
     }
   }
   const bool cross = cfg_.combine_mode == CombineMode::kCrossProduct;
@@ -984,6 +1055,15 @@ hw::Pipeline ConfigurableClassifier::lookup_pipeline() const {
   if (cfg_.ip_algorithm == IpAlgorithm::kMbt) {
     ip_latency = u64{cfg_.mbt.read_cycles} * cfg_.mbt.strides.size() + 1;
     ip_ii = 1;  // fully pipelined levels
+  } else if (cfg_.ip_algorithm == IpAlgorithm::kRvh) {
+    // Worst case probes every live range-vector signature once: one
+    // hash cycle plus one table read per signature group.
+    u64 groups = 1;
+    for (usize i = 0; i < 4; ++i) {
+      groups = std::max<u64>(groups, rvh_[i]->live_length_count());
+    }
+    ip_latency = groups * (u64{cfg_.rvh.read_cycles} + 1) + 1;
+    ip_ii = groups;  // iterative probe loop on one port: not pipelined
   } else {
     u64 depth = 1;
     for (usize i = 0; i < 4; ++i) {
@@ -1017,9 +1097,13 @@ MemoryReport ConfigurableClassifier::memory_report() const {
       const u64 mbt_used = static_cast<u64>(mbt_[i]->node_count(k)) *
                            (u64{1} << strides[k]) * m.word_bits();
       if (is_shared) {
+        // The RVH owns its table, so with it selected the shared block
+        // holds no live engine data at all.
         const u64 used = cfg_.ip_algorithm == IpAlgorithm::kMbt
                              ? mbt_used
-                             : bst_[i]->live_node_bits();
+                         : cfg_.ip_algorithm == IpAlgorithm::kBst
+                             ? bst_[i]->live_node_bits()
+                             : 0;
         add(shared_[i]->physical().name(), m.capacity_bits(), used);
       } else {
         add(m.name(), m.capacity_bits(), mbt_used);
@@ -1029,6 +1113,8 @@ MemoryReport ConfigurableClassifier::memory_report() const {
       add(bst_[i]->memory().name(), bst_[i]->capacity_bits(),
           bst_[i]->live_node_bits());
     }
+    add(rvh_[i]->memory().name(), rvh_[i]->capacity_bits(),
+        rvh_[i]->live_node_bits());
     add(lists_[i]->memory().name(), lists_[i]->memory().capacity_bits(),
         lists_[i]->live_bits());
   }
@@ -1053,6 +1139,7 @@ hw::SynthesisReport ConfigurableClassifier::synthesis_report() const {
     if (!cfg_.share_ip_memory) {
       sm.add_memory(bst_[i]->memory());
     }
+    sm.add_memory(rvh_[i]->memory());
     sm.add_memory(lists_[i]->memory());
   }
   sm.add_memory(proto_lut_->memory());

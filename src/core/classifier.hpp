@@ -160,9 +160,11 @@ struct BatchScratch {
   /// authoritative per-path batch counters (forced policies count here
   /// too).
   PathController controller;
-  /// Scratch for the controller's distinct-header count (header
-  /// fingerprints, sorted per batch; reused so the count allocates
-  /// nothing in steady state).
+  /// Open-addressed presence table for the controller's streaming
+  /// distinct-header count (slot = mix64 of the header fingerprint; 0 is
+  /// the empty sentinel, a fingerprint of 0 is tracked out-of-band).
+  /// Reused across batches so the count allocates nothing in steady
+  /// state and replaces the former per-batch fingerprint sort.
   std::vector<u64> distinct_fp;
 
   /// Telemetry taps, written by every classify_batch() call: the
@@ -382,6 +384,7 @@ class ConfigurableClassifier {
   std::array<std::unique_ptr<hw::SharedMemory>, 4> shared_;
   std::array<std::unique_ptr<alg::MultiBitTrie>, 4> mbt_;
   std::array<std::unique_ptr<alg::BinarySearchTree>, 4> bst_;
+  std::array<std::unique_ptr<alg::RangeVectorHash>, 4> rvh_;
   std::unique_ptr<alg::PortRegisterFile> sport_regs_;
   std::unique_ptr<alg::PortRegisterFile> dport_regs_;
   std::unique_ptr<alg::ProtocolLut> proto_lut_;

@@ -7,20 +7,29 @@
 #include "alg/binary_search_tree.hpp"
 #include "alg/multibit_trie.hpp"
 #include "alg/port_registers.hpp"
+#include "alg/range_vector_hash.hpp"
 #include "common/types.hpp"
 
 namespace pclass::core {
 
-/// The two IP lookup algorithms the controller can select (§IV.B: "a
+/// The IP lookup algorithms the controller can select (§IV.B: "a
 /// configurable platform choosing between fast IP lookup algorithm (MBT)
-/// and efficient-memory-space algorithm (BST)").
+/// and efficient-memory-space algorithm (BST)"; kRvh extends the select
+/// with the repo's second backend family — a range-vector hash engine
+/// whose update path is incremental rather than rebuild/leaf-push).
 enum class IpAlgorithm : u8 {
   kMbt,  ///< multi-bit trie — fast, pipelined (IPalg_s = 0)
   kBst,  ///< binary search tree — compact (IPalg_s = 1)
+  kRvh,  ///< range-vector hash — fast online updates (IPalg_s = 2)
 };
 
 [[nodiscard]] constexpr const char* to_string(IpAlgorithm a) {
-  return a == IpAlgorithm::kMbt ? "MBT" : "BST";
+  switch (a) {
+    case IpAlgorithm::kMbt: return "MBT";
+    case IpAlgorithm::kBst: return "BST";
+    case IpAlgorithm::kRvh: return "RVH";
+  }
+  return "?";
 }
 
 /// Phase-3 label combination policy.
@@ -113,6 +122,8 @@ struct ClassifierConfig {
   alg::MbtConfig mbt{};
   /// Geometry of each of the four IP-segment BST engines.
   alg::BstConfig bst{};
+  /// Geometry of each of the four IP-segment RVH engines.
+  alg::RvhConfig rvh{};
   /// Port register banks (source and destination).
   alg::PortRegistersConfig ports{};
   /// Label-list store depth per IP dimension (words).
@@ -138,16 +149,19 @@ struct ClassifierConfig {
     if (max_rules <= 1200) {
       c.mbt.level_capacity = {1, 64, 192};
       c.bst.max_nodes = 3072;
+      c.rvh.table_depth = 4096;
       c.label_store_depth = 4096;
       c.rule_filter_depth = 4096;
     } else if (max_rules <= 5200) {
       c.mbt.level_capacity = {1, 128, 512};
       c.bst.max_nodes = 8192;
+      c.rvh.table_depth = 8192;
       c.label_store_depth = 8192;
       c.rule_filter_depth = 12288;
     } else {
       c.mbt.level_capacity = {1, 224, 1024};
       c.bst.max_nodes = 16384;
+      c.rvh.table_depth = 16384;
       c.label_store_depth = 16384;
       c.rule_filter_depth = 24576;
     }

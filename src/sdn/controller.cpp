@@ -16,7 +16,7 @@ void Controller::broadcast(const Message& msg) {
 
 void Controller::configure(const AppRequirement& app, usize mbt_capacity) {
   const core::IpAlgorithm alg = select_algorithm(app, mbt_capacity);
-  broadcast(ConfigMod{alg == core::IpAlgorithm::kBst});
+  broadcast(ConfigMod{alg});
 }
 
 void Controller::install(const ruleset::Rule& rule, ActionSpec action) {

@@ -58,10 +58,11 @@ struct FlowMod {
 /// widened (PR 7) to carry any subset of the runtime-tunable knobs so
 /// the control plane's `set` handler rides the same southbound path
 /// (and replica replay) as rule updates. Absent fields leave the
-/// device's current setting untouched; `ConfigMod{true}` keeps meaning
-/// "switch IPalg_s to BST" as before.
+/// device's current setting untouched; `ConfigMod{core::IpAlgorithm::
+/// kBst}` means "drive IPalg_s to BST" (the former use_bst bool grew a
+/// third value with the RVH backend).
 struct ConfigMod {
-  std::optional<bool> use_bst;  ///< IPalg_s value (kBst / kMbt)
+  std::optional<core::IpAlgorithm> ip_algorithm;  ///< IPalg_s value
   /// classify_batch() strategy (phase-2 vs scalar).
   std::optional<core::BatchMode> batch_mode;
   /// Phase-2 execution-path policy (adaptive / forced).

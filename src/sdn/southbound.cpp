@@ -31,9 +31,8 @@ hw::UpdateStats apply_message(core::ConfigurableClassifier& clf,
   if (cm.memo_ways) clf.set_batch_memo_ways(*cm.memo_ways);
   if (cm.batch_mode) clf.set_batch_mode(*cm.batch_mode);
   if (cm.path_policy) clf.set_batch_path_policy(*cm.path_policy);
-  if (cm.use_bst) {
-    cost += clf.set_ip_algorithm(*cm.use_bst ? core::IpAlgorithm::kBst
-                                             : core::IpAlgorithm::kMbt);
+  if (cm.ip_algorithm) {
+    cost += clf.set_ip_algorithm(*cm.ip_algorithm);
   }
   return cost;
 }

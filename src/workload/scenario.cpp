@@ -6,6 +6,7 @@
 #include <chrono>
 #include <filesystem>
 #include <functional>
+#include <iostream>
 #include <map>
 #include <ostream>
 #include <thread>
@@ -242,11 +243,19 @@ core::ClassifierConfig scenario_config(const ruleset::RuleSet& rules,
   core::ClassifierConfig cfg =
       core::ClassifierConfig::for_scale(rules.size() + extra_headroom);
   cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact lookups
+  cfg.ip_algorithm = opts.ip_algorithm;
   cfg.batch_mode = opts.batch_mode;
   cfg.batch_memo_persistent = opts.memo_persistent;
   cfg.batch_memo_ways = opts.memo_ways;
   cfg.batch_path_policy = opts.path_policy;
   return cfg;
+}
+
+/// Shard geometry a scenario actually ran with (the report field the
+/// CI shard gate asserts against — never the requested mode).
+std::string effective_shard_mode(usize shards, dataplane::ShardMode mode) {
+  if (shards == 0) return "unsharded";
+  return mode == dataplane::ShardMode::kPartition ? "partition" : "replica";
 }
 
 /// Engine geometry for a scenario (loop/shards vary per call site).
@@ -274,6 +283,7 @@ void run_finite(ScenarioResult& r, const ScenarioOptions& opts,
       TrafficPool::from_trace(trace, /*materialize_packets=*/false);
   const EngineConfig ecfg =
       engine_config(opts, budget, /*loop=*/false, opts.shards);
+  r.shard_mode_effective = effective_shard_mode(opts.shards, opts.shard_mode);
   if (opts.shards > 0 &&
       opts.shard_mode == dataplane::ShardMode::kPartition) {
     // Disjoint rule subsets, one publisher per shard; each config is
@@ -416,9 +426,18 @@ ScenarioResult run_update_storm(const ScenarioOptions& opts,
   TrafficPool pool =
       TrafficPool::from_trace(trace, /*materialize_packets=*/false);
   // Partition mode is finite-only (the combiner consumes bounded
-  // capture streams); the loop-mode storm falls back to unsharded.
-  const usize shards =
-      opts.shard_mode == dataplane::ShardMode::kPartition ? 0 : opts.shards;
+  // capture streams); the loop-mode storm falls back to unsharded —
+  // loudly, and the report records what actually ran.
+  const bool partition_fallback =
+      opts.shards > 0 &&
+      opts.shard_mode == dataplane::ShardMode::kPartition;
+  const usize shards = partition_fallback ? 0 : opts.shards;
+  if (partition_fallback) {
+    std::cerr << "warning: " << name
+              << ": partition sharding is finite-only; running unsharded "
+                 "(see shard_mode_effective in the report)\n";
+  }
+  r.shard_mode_effective = effective_shard_mode(shards, opts.shard_mode);
   Engine engine(engine_config(opts, budget, /*loop=*/true, shards),
                 programs);
   engine.start(pool);
@@ -498,9 +517,18 @@ ScenarioResult run_update_storm_multi(const ScenarioOptions& opts,
   TrafficPool pool =
       TrafficPool::from_trace(w.trace, /*materialize_packets=*/false);
   // Partition is finite-only; the loop-mode storm falls back to
-  // unsharded (replica shards loop over their steered slices fine).
-  const usize shards =
-      opts.shard_mode == dataplane::ShardMode::kPartition ? 0 : opts.shards;
+  // unsharded (replica shards loop over their steered slices fine) —
+  // loudly, and the report records what actually ran.
+  const bool partition_fallback =
+      opts.shards > 0 &&
+      opts.shard_mode == dataplane::ShardMode::kPartition;
+  const usize shards = partition_fallback ? 0 : opts.shards;
+  if (partition_fallback) {
+    std::cerr << "warning: " << name
+              << ": partition sharding is finite-only; running unsharded "
+                 "(see shard_mode_effective in the report)\n";
+  }
+  r.shard_mode_effective = effective_shard_mode(shards, opts.shard_mode);
   Engine engine(engine_config(opts, budget, /*loop=*/true, shards),
                 programs);
   engine.start(pool);
@@ -635,6 +663,7 @@ ScenarioResult run_chaos(const ScenarioOptions& opts, WorkerBudget* budget,
       std::max<usize>(opts.shards == 0 ? 4 : opts.shards, copts.workers);
   EngineConfig ecfg = engine_config(copts, budget, /*loop=*/false, shards);
   ecfg.shard_mode = dataplane::ShardMode::kReplica;
+  r.shard_mode_effective = effective_shard_mode(shards, ecfg.shard_mode);
   ecfg.capture_verdicts = true;
   ecfg.fault_injector = &injector;
   ecfg.supervisor.enabled = true;
@@ -927,6 +956,7 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
   j.key("flow_cache_depth").value(opts.flow_cache_depth);
   j.key("scale").value(opts.scale);
   j.key("seed").value(u64{opts.seed});
+  j.key("ip_algorithm").value(std::string(to_string(opts.ip_algorithm)));
   j.key("batch_mode").value(std::string(to_string(opts.batch_mode)));
   j.key("memo_persistent").value(opts.memo_persistent);
   j.key("memo_ways").value(opts.memo_ways);
@@ -1049,6 +1079,7 @@ void write_json_report(std::ostream& os, const ScenarioOptions& opts,
     }
     j.end_array();
     j.end_object();
+    j.key("shard_mode_effective").value(r.shard_mode_effective);
     j.key("shards").begin_array();
     for (const dataplane::WorkerReport& s : r.shard_reports) {
       j.begin_object();

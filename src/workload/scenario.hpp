@@ -39,6 +39,10 @@ struct ScenarioOptions {
   /// Multiplier on ruleset/trace sizes (CI smoke runs ~0.15).
   double scale = 1.0;
   u64 seed = 2026;
+  /// IP lookup backend for every scenario's device (--ip-alg): the
+  /// per-family win/loss axis of the catalog (MBT/BST trie family vs
+  /// the incremental-update RVH).
+  core::IpAlgorithm ip_algorithm = core::IpAlgorithm::kMbt;
   /// classify_batch() strategy for every scenario's device (the
   /// phase-2 vs scalar A/B knob; modeled results are identical, host
   /// throughput is not).
@@ -192,6 +196,12 @@ struct ScenarioResult {
   /// ran unsharded) — the report's `shards` array. Replica invariant:
   /// per-counter sums equal the engine totals above.
   std::vector<dataplane::WorkerReport> shard_reports;
+  /// Shard geometry the scenario *actually* ran with ("unsharded",
+  /// "replica" or "partition") — distinct from the requested options
+  /// when a loop-mode scenario cannot honor partition sharding and
+  /// falls back to unsharded; the report surfaces the fallback instead
+  /// of echoing the request.
+  std::string shard_mode_effective = "unsharded";
 
   std::string error;  ///< non-empty when the scenario failed to run
 

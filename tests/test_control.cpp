@@ -103,6 +103,11 @@ TEST(ControlProtocol, ParsesSetCommands) {
   EXPECT_EQ(*std::get<sdn::ConfigMod>(control::parse_set_command(mw)).memo_ways,
             2u);
 
+  const std::vector<std::string> alg = {"ip-alg", "rvh"};
+  EXPECT_EQ(
+      *std::get<sdn::ConfigMod>(control::parse_set_command(alg)).ip_algorithm,
+      core::IpAlgorithm::kRvh);
+
   const std::vector<std::string> bad_knob = {"turbo", "on"};
   EXPECT_THROW(control::parse_set_command(bad_knob), ParseError);
   const std::vector<std::string> bad_value = {"batch-mode", "warp"};

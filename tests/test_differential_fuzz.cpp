@@ -2,6 +2,7 @@
 //
 // Each iteration draws one configuration from the cross of
 //   {acl,fw,ipc} RulesetProfile draws x synthesized traces
+//   x IP lookup backends {mbt, bst, rvh}
 //   x batch sizes {1, 32, 256}
 //   x probe-memo {ways 1, ways 2} x {per-batch, persistent} x {off}
 //   x memo slot counts {16, 64, 512} (tiny memos force eviction churn)
@@ -78,6 +79,7 @@ struct FuzzConfig {
   usize rules_n = 0;
   usize packets = 0;
   bool zipf_trace = false;
+  core::IpAlgorithm alg = core::IpAlgorithm::kMbt;
   usize batch = 0;
   bool memo_on = true;
   u32 memo_ways = 2;
@@ -91,6 +93,7 @@ struct FuzzConfig {
     return "family=" + family + " rules=" + std::to_string(rules_n) +
            " packets=" + std::to_string(packets) +
            (zipf_trace ? " trace=zipf" : " trace=standard") +
+           " alg=" + std::string(to_string(alg)) +
            " batch=" + std::to_string(batch) +
            " memo=" + (memo_on ? "on" : "off") +
            " ways=" + std::to_string(memo_ways) +
@@ -109,6 +112,8 @@ FuzzConfig draw_config(Rng& rng, u64 seed) {
   c.rules_n = 40 + static_cast<usize>(rng.below(90));
   c.packets = 192 + static_cast<usize>(rng.below(192));
   c.zipf_trace = rng.below(2) == 0;
+  c.alg = std::array{core::IpAlgorithm::kMbt, core::IpAlgorithm::kBst,
+                     core::IpAlgorithm::kRvh}[rng.below(3)];
   c.batch = std::array<usize, 3>{1, 32, 256}[rng.below(3)];
   c.memo_on = rng.below(8) != 0;  // mostly on — it is the system under test
   c.memo_ways = rng.below(2) == 0 ? 1 : 2;
@@ -178,6 +183,7 @@ void run_config(const FuzzConfig& c) {
   core::ClassifierConfig cfg =
       core::ClassifierConfig::for_scale(rules.size() + 64);
   cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact => oracle
+  cfg.ip_algorithm = c.alg;
   cfg.batch_mode = core::BatchMode::kPhase2;
   cfg.batch_probe_memo = c.memo_on;
   cfg.batch_memo_slots = c.memo_slots;
@@ -279,23 +285,30 @@ TEST(DifferentialFuzz, RandomConfigsAgreeWithLinearSearch) {
 TEST(DifferentialFuzz, UpdateStormNeverServesStaleUnderTinyMemo) {
   const u64 seed = env_u64("PCLASS_FUZZ_SEED", kDefaultSeed) ^ 0xA11CE;
   Rng meta(seed);
-  for (const u32 ways : {1u, 2u}) {
-    const u64 cseed = meta.next();
-    FuzzConfig c;
-    c.seed = cseed;
-    c.family = "fw";  // wildcard-heavy: repeated combinations, hot memo
-    c.rules_n = 80;
-    c.packets = 512;
-    c.zipf_trace = true;
-    c.batch = 32;
-    c.memo_on = true;
-    c.memo_ways = ways;
-    c.memo_slots = 16;  // minimum geometry: every set under pressure
-    c.memo_persistent = true;
-    c.policy = core::PathPolicy::kForcePhase2;  // memo always engaged
-    c.updates = true;
-    SCOPED_TRACE(c.describe());
-    run_config(c);
+  // Both backend families: the trie's rebuild-style updates and the
+  // RVH's in-place bucket updates must bump the device epoch alike —
+  // either one skipping it would serve a stale memo entry here.
+  for (const core::IpAlgorithm alg :
+       {core::IpAlgorithm::kMbt, core::IpAlgorithm::kRvh}) {
+    for (const u32 ways : {1u, 2u}) {
+      const u64 cseed = meta.next();
+      FuzzConfig c;
+      c.seed = cseed;
+      c.family = "fw";  // wildcard-heavy: repeated combinations, hot memo
+      c.rules_n = 80;
+      c.packets = 512;
+      c.zipf_trace = true;
+      c.alg = alg;
+      c.batch = 32;
+      c.memo_on = true;
+      c.memo_ways = ways;
+      c.memo_slots = 16;  // minimum geometry: every set under pressure
+      c.memo_persistent = true;
+      c.policy = core::PathPolicy::kForcePhase2;  // memo always engaged
+      c.updates = true;
+      SCOPED_TRACE(c.describe());
+      run_config(c);
+    }
   }
 }
 
@@ -315,6 +328,7 @@ struct ShardFuzzConfig {
   usize rules_n = 0;
   usize packets = 0;
   bool zipf_trace = false;
+  core::IpAlgorithm alg = core::IpAlgorithm::kMbt;
   usize shards = 2;
   usize workers = 1;   ///< worker threads (may be < shards: multi-shard threads)
   usize batch = 32;
@@ -329,6 +343,7 @@ struct ShardFuzzConfig {
     return "family=" + family + " rules=" + std::to_string(rules_n) +
            " packets=" + std::to_string(packets) +
            (zipf_trace ? " trace=zipf" : " trace=standard") +
+           " alg=" + std::string(to_string(alg)) +
            " shards=" + std::to_string(shards) +
            " workers=" + std::to_string(workers) +
            " batch=" + std::to_string(batch) +
@@ -347,6 +362,8 @@ ShardFuzzConfig draw_shard_config(Rng& rng, u64 seed) {
   c.rules_n = 40 + static_cast<usize>(rng.below(81));
   c.packets = 256 + static_cast<usize>(rng.below(513));
   c.zipf_trace = rng.below(2) == 0;
+  c.alg = std::array{core::IpAlgorithm::kMbt, core::IpAlgorithm::kBst,
+                     core::IpAlgorithm::kRvh}[rng.below(3)];
   c.shards = 2 + static_cast<usize>(rng.below(3));           // 2..4
   c.workers = 1 + static_cast<usize>(rng.below(c.shards));   // 1..S
   c.batch = std::array<usize, 3>{8, 32, 64}[rng.below(3)];
@@ -452,6 +469,7 @@ void run_shard_config(const ShardFuzzConfig& c) {
   core::ClassifierConfig cfg =
       core::ClassifierConfig::for_scale(rules.size() + 64);
   cfg.combine_mode = core::CombineMode::kCrossProduct;  // exact => oracle
+  cfg.ip_algorithm = c.alg;
 
   if (c.partition) {
     // Disjoint rule subsets, one publisher per shard, no mutations: the
@@ -643,21 +661,28 @@ TEST(ShardedDifferentialFuzz, MultiWorkerEnginesAgreeWithVersionedOracles) {
 TEST(ShardedDifferentialFuzz, UpdateStormAcrossShardsNeverServesStaleVerdict) {
   const u64 base = env_u64("PCLASS_FUZZ_SEED", kDefaultSeed) ^ 0x57EE1;
   Rng meta(base);
-  for (const bool symmetric : {false, true}) {
-    ShardFuzzConfig c;
-    c.seed = meta.next();
-    c.family = "fw";  // wildcard-heavy: verdicts shift under mutation
-    c.rules_n = 96;
-    c.packets = 2048;
-    c.zipf_trace = true;
-    c.shards = 4;
-    c.workers = 4;
-    c.batch = 16;  // many snapshot acquisitions per run
-    c.symmetric = symmetric;
-    c.partition = false;
-    c.mutations = true;
-    c.cache_depth = 0;
-    SCOPED_TRACE(c.describe());
-    run_shard_config(c);
+  // Both backend families under the storm: the RVH leg pins its
+  // incremental bucket updates against per-version oracles on the real
+  // multi-worker RCU path, not just the single-thread harness above.
+  for (const core::IpAlgorithm alg :
+       {core::IpAlgorithm::kMbt, core::IpAlgorithm::kRvh}) {
+    for (const bool symmetric : {false, true}) {
+      ShardFuzzConfig c;
+      c.seed = meta.next();
+      c.family = "fw";  // wildcard-heavy: verdicts shift under mutation
+      c.rules_n = 96;
+      c.packets = 2048;
+      c.zipf_trace = true;
+      c.alg = alg;
+      c.shards = 4;
+      c.workers = 4;
+      c.batch = 16;  // many snapshot acquisitions per run
+      c.symmetric = symmetric;
+      c.partition = false;
+      c.mutations = true;
+      c.cache_depth = 0;
+      SCOPED_TRACE(c.describe());
+      run_shard_config(c);
+    }
   }
 }

@@ -119,10 +119,15 @@ TEST(SwitchDevice, ConfigModSwitchesAlgorithm) {
   SwitchDevice sw("s1");
   sw.handle(add_mod(web_rule(1), ActionSpec::output(1)));
   EXPECT_EQ(sw.classifier().ip_algorithm(), core::IpAlgorithm::kMbt);
-  const auto cost = sw.handle(ConfigMod{true});
+  const auto cost = sw.handle(ConfigMod{core::IpAlgorithm::kBst});
   EXPECT_GT(cost.config_toggles, 0u);
   EXPECT_EQ(sw.classifier().ip_algorithm(), core::IpAlgorithm::kBst);
   // Still forwards correctly after the switch.
+  EXPECT_TRUE(sw.process_header(web_header(), 64).rule.has_value());
+  // And the third backend family rides the same ConfigMod.
+  const auto cost2 = sw.handle(ConfigMod{core::IpAlgorithm::kRvh});
+  EXPECT_GT(cost2.config_toggles, 0u);
+  EXPECT_EQ(sw.classifier().ip_algorithm(), core::IpAlgorithm::kRvh);
   EXPECT_TRUE(sw.process_header(web_header(), 64).rule.has_value());
 }
 

@@ -4,7 +4,7 @@
 /// measured performance — the workflow of the paper's evaluation, on
 /// your own rule sets.
 ///
-///   pclass_classify <rules_file> <trace_file> [--alg mbt|bst]
+///   pclass_classify <rules_file> <trace_file> [--alg mbt|bst|rvh]
 ///                   [--mode first|cross] [--verify]
 ///                   [--batch-mode scalar|phase2]
 ///                   [--memo persistent|per-batch|off] [--memo-ways 1|2]
@@ -69,7 +69,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: pclass_classify <rules_file> <trace_file> "
-               "[--alg mbt|bst] [--mode first|cross] [--verify]\n"
+               "[--alg mbt|bst|rvh] [--mode first|cross] [--verify]\n"
                "                       [--batch-mode scalar|phase2] "
                "[--memo persistent|per-batch|off] [--memo-ways 1|2]\n"
                "                       [--path-policy "
@@ -348,10 +348,11 @@ int main(int argc, char** argv) {
       else return usage();
     } else if (flag == "--steer-symmetric") {
       steer_symmetric = true;
-    } else if (flag == "--alg" && i + 1 < argc) {
+    } else if ((flag == "--alg" || flag == "--ip-alg") && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "mbt") alg = core::IpAlgorithm::kMbt;
       else if (v == "bst") alg = core::IpAlgorithm::kBst;
+      else if (v == "rvh") alg = core::IpAlgorithm::kRvh;
       else return usage();
     } else if (flag == "--mode" && i + 1 < argc) {
       const std::string v = argv[++i];

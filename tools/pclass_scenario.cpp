@@ -11,6 +11,7 @@
 ///                   [--workers N] [--cache-depth N] [--seed N]
 ///                   [--scale F] [--out FILE] [--parallel N]
 ///                   [--max-workers N]
+///                   [--ip-alg mbt|bst|rvh]
 ///                   [--batch-mode scalar|phase2]
 ///                   [--memo persistent|per-batch] [--memo-ways 1|2]
 ///                   [--path-policy adaptive|phase2|scalar-loop]
@@ -39,6 +40,9 @@
 /// parallel run never oversubscribes the host with scenarios x workers
 /// threads. --memo-ways selects the probe memo's associativity (2 =
 /// set-associative default, 1 = the direct-mapped A/B reference).
+/// --ip-alg selects the IP lookup backend every scenario's device is
+/// built with (mbt/bst trie family, rvh range-vector hash) — the
+/// per-family win/loss axis CI sweeps over saved workloads.
 ///
 /// --shards N runs every scenario's engine as N RSS-style shards, each
 /// owning its classifier replica, flow cache and probe memo.
@@ -80,7 +84,7 @@ int usage() {
                "[--scenario NAME]... "
                "[--smoke] [--workers N] [--cache-depth N] [--seed N] "
                "[--scale F] [--out FILE] [--parallel N] [--max-workers N] "
-               "[--batch-mode scalar|phase2] "
+               "[--ip-alg mbt|bst|rvh] [--batch-mode scalar|phase2] "
                "[--memo persistent|per-batch] [--memo-ways 1|2] "
                "[--path-policy adaptive|phase2|scalar-loop] "
                "[--shards N] [--shard-mode replica|partition] "
@@ -198,6 +202,12 @@ int main(int argc, char** argv) {
       if (opts.scale <= 0 || opts.scale > 100) return usage();
     } else if (flag == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (flag == "--ip-alg" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "mbt") opts.ip_algorithm = core::IpAlgorithm::kMbt;
+      else if (v == "bst") opts.ip_algorithm = core::IpAlgorithm::kBst;
+      else if (v == "rvh") opts.ip_algorithm = core::IpAlgorithm::kRvh;
+      else return usage();
     } else if (flag == "--batch-mode" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "scalar") opts.batch_mode = core::BatchMode::kScalar;

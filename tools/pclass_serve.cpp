@@ -11,7 +11,8 @@
 ///   pclass_serve --rules FILE --trace FILE
 ///                [--listen tcp:PORT | tcp:HOST:PORT | unix:PATH]
 ///                [--workers N] [--batch B] [--cache-depth N]
-///                [--stats-interval-ms N] [--batch-mode scalar|phase2]
+///                [--stats-interval-ms N] [--ip-alg mbt|bst|rvh]
+///                [--batch-mode scalar|phase2]
 ///                [--memo persistent|per-batch|off] [--memo-ways 1|2]
 ///                [--path-policy adaptive|phase2|scalar-loop]
 ///                [--shards N] [--steer-symmetric]
@@ -76,7 +77,8 @@ int usage() {
          "                    [--listen tcp:PORT|tcp:HOST:PORT|unix:PATH]\n"
          "                    [--workers N] [--batch B] [--cache-depth N]\n"
          "                    [--stats-interval-ms N] "
-         "[--batch-mode scalar|phase2]\n"
+         "[--ip-alg mbt|bst|rvh]\n"
+         "                    [--batch-mode scalar|phase2]\n"
          "                    [--memo persistent|per-batch|off] "
          "[--memo-ways 1|2]\n"
          "                    [--path-policy adaptive|phase2|scalar-loop]\n"
@@ -284,6 +286,7 @@ int main(int argc, char** argv) {
   usize batch = net::kDefaultBatchCapacity;
   u32 cache_depth = 0;
   u64 stats_interval_ms = 100;
+  core::IpAlgorithm ip_algorithm = core::IpAlgorithm::kMbt;
   core::BatchMode batch_mode = core::BatchMode::kPhase2;
   core::PathPolicy path_policy = core::PathPolicy::kAdaptive;
   bool probe_memo = true;
@@ -319,6 +322,12 @@ int main(int argc, char** argv) {
     } else if (flag == "--stats-interval-ms" && i + 1 < argc) {
       if (!parse_count(argv[++i], n) || n > 3'600'000) return usage();
       stats_interval_ms = n;
+    } else if (flag == "--ip-alg" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "mbt") ip_algorithm = core::IpAlgorithm::kMbt;
+      else if (v == "bst") ip_algorithm = core::IpAlgorithm::kBst;
+      else if (v == "rvh") ip_algorithm = core::IpAlgorithm::kRvh;
+      else return usage();
     } else if (flag == "--batch-mode" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "scalar") batch_mode = core::BatchMode::kScalar;
@@ -378,6 +387,7 @@ int main(int argc, char** argv) {
     core::ClassifierConfig cfg =
         core::ClassifierConfig::for_scale(rules.size() + 1024);
     cfg.combine_mode = core::CombineMode::kCrossProduct;
+    cfg.ip_algorithm = ip_algorithm;
     cfg.batch_mode = batch_mode;
     cfg.batch_probe_memo = probe_memo;
     cfg.batch_memo_persistent = memo_persistent;
